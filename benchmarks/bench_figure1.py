@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 1: zero-skew DME vs bounded-skew BST.
+
+The paper's Figure 1 illustrates that a relaxed skew bound buys wirelength
+(17 vs 16 units on its toy example).  The benchmark routes the reproduction's
+Figure 1 instance with a zero bound and with the 10 ps bound and records both
+wirelengths and skews.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_zero_vs_bounded_skew(benchmark):
+    result = benchmark.pedantic(run_figure1, kwargs={"bound_ps": 10.0}, rounds=1, iterations=1)
+
+    benchmark.extra_info["zero_skew_wirelength"] = result.zero_skew_wirelength
+    benchmark.extra_info["bounded_wirelength"] = result.bounded_wirelength
+    benchmark.extra_info["zero_skew_ps"] = result.zero_skew_ps
+    benchmark.extra_info["bounded_skew_ps"] = result.bounded_skew_ps
+
+    # Shape of the paper's figure: relaxing the bound never costs wire and the
+    # zero-skew tree is exactly balanced.
+    assert result.bounded_wirelength <= result.zero_skew_wirelength + 1e-6
+    assert result.zero_skew_ps == pytest.approx(0.0, abs=1e-6)
+    assert result.bounded_skew_ps <= result.bound_ps + 1e-6

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 2: separate per-group trees vs cross-group merging.
+
+The paper's Figure 2 motivates the whole algorithm: on intermingled groups,
+building one tree per group and stitching wastes wire, while allowing sinks of
+different groups to merge recovers it (the paper quotes savings up to 1/3 on
+its toy example).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_separate_vs_cross_group(benchmark):
+    result = benchmark.pedantic(run_figure2, kwargs={"bound_ps": 10.0}, rounds=1, iterations=1)
+
+    benchmark.extra_info["separate_wirelength"] = result.separate_wirelength
+    benchmark.extra_info["merged_wirelength"] = result.merged_wirelength
+    benchmark.extra_info["reduction_pct"] = result.reduction_pct
+
+    # Cross-group merging must clearly beat the stitched per-group trees.
+    assert result.merged_wirelength < result.separate_wirelength
+    assert result.reduction_pct > 10.0

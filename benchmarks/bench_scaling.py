@@ -1,0 +1,41 @@
+"""Runtime-scaling benchmarks (the CPU(s) column of the paper's tables).
+
+The paper reports that AST-DME's runtime is larger than EXT-BST's "but still
+at a reasonable order of magnitude".  These benchmarks measure both routers on
+synthetic instances of growing size; the ratio between the two is the quantity
+to compare against the paper (absolute seconds are not comparable between a
+2006 C++ implementation and Python).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generator import random_instance
+from repro.circuits.grouping import intermingled_groups
+from repro.core.ast_dme import AstDme, AstDmeConfig
+from repro.cts.bst import ExtBst
+
+SIZES = (200, 400, 800)
+
+
+@pytest.mark.benchmark(group="scaling-ast")
+@pytest.mark.parametrize("num_sinks", SIZES)
+def test_scaling_ast_dme(benchmark, num_sinks):
+    instance = intermingled_groups(
+        random_instance("scale-%d" % num_sinks, num_sinks, seed=num_sinks), 8, seed=1
+    )
+    router = AstDme(AstDmeConfig(skew_bound_ps=10.0))
+    result = benchmark.pedantic(lambda: router.route(instance), rounds=1, iterations=1)
+    benchmark.extra_info["wirelength"] = result.wirelength
+    assert len(result.tree.sinks()) == num_sinks
+
+
+@pytest.mark.benchmark(group="scaling-baseline")
+@pytest.mark.parametrize("num_sinks", SIZES)
+def test_scaling_ext_bst(benchmark, num_sinks):
+    instance = random_instance("scale-%d" % num_sinks, num_sinks, seed=num_sinks)
+    router = ExtBst(skew_bound_ps=10.0)
+    result = benchmark.pedantic(lambda: router.route(instance), rounds=1, iterations=1)
+    benchmark.extra_info["wirelength"] = result.wirelength
+    assert len(result.tree.sinks()) == num_sinks

@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+By default the benchmarks run the three smaller paper circuits (r1-r3) so that
+``pytest benchmarks/ --benchmark-only`` finishes in a couple of minutes.  Set
+``REPRO_FULL_BENCH=1`` to sweep all five circuits exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Circuits benchmarked by default / with REPRO_FULL_BENCH=1.
+DEFAULT_CIRCUITS = ("r1", "r2", "r3")
+FULL_CIRCUITS = ("r1", "r2", "r3", "r4", "r5")
+
+
+def selected_circuits():
+    """The benchmark circuits selected by the environment."""
+    if os.environ.get("REPRO_FULL_BENCH", "0") not in ("", "0", "false", "no"):
+        return FULL_CIRCUITS
+    return DEFAULT_CIRCUITS
+
+
+@pytest.fixture(params=selected_circuits())
+def circuit_name(request):
+    """Parametrised benchmark circuit name."""
+    return request.param

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Wirelength vs skew-bound trade-off (the Figure 1 story, at benchmark scale).
+
+Routes one benchmark with a range of intra-group skew bounds and prints how
+the wirelength and the achieved skews move: the looser the constraint, the
+cheaper the tree -- which is exactly why dropping *inter-group* constraints
+(the associative-skew formulation) pays off.
+
+Run with:  python examples/skew_bound_tradeoff.py
+"""
+
+from repro import AstDme, AstDmeConfig, intermingled_groups, make_r_circuit, skew_report
+
+
+def main() -> None:
+    instance = intermingled_groups(make_r_circuit("r1"), num_groups=8, seed=7)
+    print("circuit r1, 8 intermingled groups, %d sinks" % instance.num_sinks)
+    print("%10s  %12s  %12s  %12s" % ("bound(ps)", "wirelength", "intra(ps)", "global(ps)"))
+
+    reference = None
+    for bound_ps in (0.0, 5.0, 10.0, 25.0, 50.0, 100.0):
+        result = AstDme(AstDmeConfig(skew_bound_ps=bound_ps)).route(instance)
+        report = skew_report(result.tree)
+        if reference is None:
+            reference = result.wirelength
+        print(
+            "%10.0f  %12.0f  %12.2f  %12.2f   (%+.2f%% vs zero-skew)"
+            % (
+                bound_ps,
+                result.wirelength,
+                report.max_intra_group_skew_ps,
+                report.global_skew_ps,
+                (result.wirelength - reference) / reference * 100.0,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

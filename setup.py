@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable (``pip install -e .``) in offline
+environments whose setuptools/wheel combination predates PEP 660 support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro -- Associative skew clock routing for difficult instances.
+
+A Python reproduction of Kim's AST-DME algorithm (Texas A&M, 2006): a clock
+router that enforces skew constraints only *within* identified groups of sinks
+and exploits the freedom between groups to reduce total wirelength, together
+with the substrates it needs (Manhattan geometry, Elmore delay, DME / BST
+baselines), synthetic benchmark circuits, analysis tools and the experiment
+drivers that regenerate the paper's tables and figures.
+
+Quickstart::
+
+    from repro import AstDme, AstDmeConfig, make_r_circuit, intermingled_groups
+    from repro import skew_report
+
+    instance = intermingled_groups(make_r_circuit("r1"), num_groups=8, seed=7)
+    result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(instance)
+    print(result.wirelength, skew_report(result.tree).max_intra_group_skew_ps)
+"""
+
+from repro.analysis import (
+    SkewReport,
+    TableRow,
+    ValidationIssue,
+    WirelengthReport,
+    format_table,
+    reduction_percent,
+    rows_to_csv,
+    skew_report,
+    validate_result,
+    validate_tree,
+    wirelength_report,
+)
+from repro.circuits import (
+    ClockInstance,
+    Sink,
+    available_circuits,
+    clustered_groups,
+    intermingled_groups,
+    load_instance,
+    make_r_circuit,
+    random_instance,
+    save_instance,
+    striped_groups,
+)
+from repro.core import (
+    AstDme,
+    AstDmeConfig,
+    GroupAssociation,
+    RoutingResult,
+    SkewConstraints,
+    Subtree,
+)
+from repro.cts import ClockNode, ClockTree, ExtBst, GreedyDme, embed_tree, route_edges
+from repro.delay import DEFAULT_TECHNOLOGY, RcTree, Technology, elmore_delays, sink_delays
+from repro.geometry import Point, Trr
+from repro.experiments import run_figure1, run_figure2, run_table1, run_table2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AstDme",
+    "AstDmeConfig",
+    "ClockInstance",
+    "ClockNode",
+    "ClockTree",
+    "DEFAULT_TECHNOLOGY",
+    "ExtBst",
+    "GreedyDme",
+    "GroupAssociation",
+    "Point",
+    "RcTree",
+    "RoutingResult",
+    "Sink",
+    "SkewConstraints",
+    "SkewReport",
+    "Subtree",
+    "TableRow",
+    "Technology",
+    "Trr",
+    "ValidationIssue",
+    "WirelengthReport",
+    "available_circuits",
+    "clustered_groups",
+    "elmore_delays",
+    "embed_tree",
+    "format_table",
+    "intermingled_groups",
+    "load_instance",
+    "make_r_circuit",
+    "random_instance",
+    "reduction_percent",
+    "route_edges",
+    "rows_to_csv",
+    "run_figure1",
+    "run_figure2",
+    "run_table1",
+    "run_table2",
+    "save_instance",
+    "sink_delays",
+    "skew_report",
+    "striped_groups",
+    "validate_result",
+    "validate_tree",
+    "wirelength_report",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis, verification and reporting of routed clock trees.
+
+* :func:`skew_report` -- global, intra-group and inter-group skews of an
+  embedded tree, computed from Elmore delays.
+* :func:`wirelength_report` / :func:`reduction_percent` -- wirelength metrics
+  and the "Reduction" column of the paper's tables.
+* :func:`validate_tree` -- structural and electrical validation of a routing
+  result against its instance (the library's safety net and test oracle).
+* :mod:`repro.analysis.report` -- paper-style table formatting.
+"""
+
+from repro.analysis.skew import SkewReport, skew_report
+from repro.analysis.wirelength import WirelengthReport, reduction_percent, wirelength_report
+from repro.analysis.validate import ValidationIssue, validate_result, validate_tree
+from repro.analysis.report import TableRow, format_table, rows_to_csv
+
+__all__ = [
+    "SkewReport",
+    "TableRow",
+    "ValidationIssue",
+    "WirelengthReport",
+    "format_table",
+    "reduction_percent",
+    "rows_to_csv",
+    "skew_report",
+    "validate_result",
+    "validate_tree",
+    "wirelength_report",
+]

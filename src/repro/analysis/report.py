@@ -1,0 +1,108 @@
+"""Paper-style result tables.
+
+The experiment drivers produce lists of :class:`TableRow`, one per (circuit,
+group count, algorithm) combination, mirroring the columns of Tables I and II:
+circuit, number of groups, algorithm, wirelength, reduction vs. the EXT-BST
+baseline, maximum (global) skew in picoseconds and CPU seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["TableRow", "format_table", "rows_to_csv"]
+
+
+@dataclass
+class TableRow:
+    """One row of a Table I / Table II style comparison."""
+
+    circuit: str
+    num_sinks: int
+    num_groups: int
+    algorithm: str
+    wirelength: float
+    reduction_pct: Optional[float]
+    max_skew_ps: float
+    intra_skew_ps: float
+    cpu_seconds: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.circuit,
+            self.num_sinks,
+            self.num_groups,
+            self.algorithm,
+            self.wirelength,
+            self.reduction_pct,
+            self.max_skew_ps,
+            self.intra_skew_ps,
+            self.cpu_seconds,
+        )
+
+
+_HEADERS = [
+    "Circuit",
+    "#sinks",
+    "#groups",
+    "Algorithm",
+    "Wirelen",
+    "Reduction",
+    "MaxSkew(ps)",
+    "IntraSkew(ps)",
+    "CPU(s)",
+]
+
+
+def _format_row(row: TableRow) -> List[str]:
+    return [
+        row.circuit,
+        str(row.num_sinks),
+        str(row.num_groups),
+        row.algorithm,
+        "%.0f" % row.wirelength,
+        "-" if row.reduction_pct is None else "%.2f%%" % row.reduction_pct,
+        "%.0f" % row.max_skew_ps,
+        "%.1f" % row.intra_skew_ps,
+        "%.2f" % row.cpu_seconds,
+    ]
+
+
+def format_table(rows: List[TableRow], title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width text table matching the paper's layout."""
+    body = [_format_row(row) for row in rows]
+    widths = [
+        max(len(_HEADERS[col]), *(len(line[col]) for line in body)) if body else len(_HEADERS[col])
+        for col in range(len(_HEADERS))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(_HEADERS)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(_HEADERS))))
+    for line in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: List[TableRow]) -> str:
+    """Rows as CSV text (header included), for spreadsheets and plotting."""
+    lines = [",".join(h.lower().replace("(", "_").replace(")", "") for h in _HEADERS)]
+    for row in rows:
+        reduction = "" if row.reduction_pct is None else "%.4f" % row.reduction_pct
+        lines.append(
+            "%s,%d,%d,%s,%.2f,%s,%.2f,%.3f,%.3f"
+            % (
+                row.circuit,
+                row.num_sinks,
+                row.num_groups,
+                row.algorithm,
+                row.wirelength,
+                reduction,
+                row.max_skew_ps,
+                row.intra_skew_ps,
+                row.cpu_seconds,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Structural and electrical validation of routing results.
+
+``validate_tree`` checks the things every downstream consumer relies on:
+
+* the tree is a single connected, acyclic structure rooted at the source;
+* every instance sink appears exactly once, at the right location, with the
+  right load and group;
+* every embedded edge books at least as much wire as the Manhattan distance
+  between its endpoints (booked length may exceed it -- that is snaking);
+* the Elmore delays computed by the fast evaluator agree with the independent
+  :class:`~repro.delay.rc_tree.RcTree` oracle.
+
+``validate_result`` additionally checks the routing result's bookkeeping
+(loci containing the embedded locations, intra-group skew within the
+configured bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.analysis.skew import skew_report
+from repro.delay.elmore import sink_delays
+from repro.delay.rc_tree import RcTree
+from repro.delay.technology import Technology
+
+__all__ = ["ValidationIssue", "validate_tree", "validate_result"]
+
+_GEOM_TOL = 1e-6
+_DELAY_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single validation finding."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "[%s] %s" % (self.code, self.message)
+
+
+def validate_tree(tree, instance=None) -> List[ValidationIssue]:
+    """Validate an embedded clock tree, optionally against its instance.
+
+    Returns a list of issues; an empty list means the tree passed every check.
+    """
+    issues: List[ValidationIssue] = []
+    issues.extend(_check_structure(tree))
+    if any(issue.message == "the tree has no root" for issue in issues):
+        # Without a root the electrical checks cannot run at all.
+        return issues
+    issues.extend(_check_geometry(tree))
+    issues.extend(_check_delays(tree))
+    if instance is not None:
+        issues.extend(_check_instance_coverage(tree, instance))
+    return issues
+
+
+def validate_result(result, intra_bound_ps: Optional[float] = None) -> List[ValidationIssue]:
+    """Validate a :class:`~repro.core.ast_dme.RoutingResult`.
+
+    Args:
+        result: the routing result to check.
+        intra_bound_ps: when given, the intra-group skew of every group must
+            not exceed this bound (in picoseconds, as in the paper).
+    """
+    issues = validate_tree(result.tree, result.instance)
+    for node_id, locus in result.loci.items():
+        node = result.tree.node(node_id)
+        if node.location is not None and not locus.contains_point(node.location, tol=1e-3):
+            issues.append(
+                ValidationIssue(
+                    "locus",
+                    "node %d embedded at %r outside its placement locus" % (node_id, node.location),
+                )
+            )
+    if intra_bound_ps is not None:
+        report = skew_report(result.tree)
+        bound = Technology.ps_to_internal(intra_bound_ps)
+        slack = max(result.stats.max_violation, 0.0)
+        for group, skew in report.per_group_skew.items():
+            if skew > bound + 2.0 * slack + 1e-3:
+                issues.append(
+                    ValidationIssue(
+                        "skew",
+                        "group %r intra-group skew %.3f ps exceeds the %.3f ps bound"
+                        % (group, Technology.internal_to_ps(skew), intra_bound_ps),
+                    )
+                )
+    return issues
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+def _check_structure(tree) -> List[ValidationIssue]:
+    issues: List[ValidationIssue] = []
+    try:
+        root = tree.root()
+    except ValueError:
+        return [ValidationIssue("structure", "the tree has no root")]
+    if not root.is_source:
+        issues.append(ValidationIssue("structure", "the tree root is not a source node"))
+
+    graph = tree.to_networkx()
+    undirected = graph.to_undirected()
+    if graph.number_of_nodes() and not nx.is_connected(undirected):
+        issues.append(ValidationIssue("structure", "the tree is not connected"))
+    if not nx.is_directed_acyclic_graph(graph):
+        issues.append(ValidationIssue("structure", "the tree contains a cycle"))
+    if graph.number_of_edges() != graph.number_of_nodes() - 1:
+        issues.append(
+            ValidationIssue(
+                "structure",
+                "edge count %d does not match node count %d minus one"
+                % (graph.number_of_edges(), graph.number_of_nodes()),
+            )
+        )
+    for node in tree.nodes():
+        if node.is_sink and node.children:
+            issues.append(
+                ValidationIssue("structure", "sink node %d has children" % node.node_id)
+            )
+    return issues
+
+
+def _check_geometry(tree) -> List[ValidationIssue]:
+    issues: List[ValidationIssue] = []
+    for node in tree.nodes():
+        if node.parent is None:
+            continue
+        parent = tree.node(node.parent)
+        if node.location is None or parent.location is None:
+            issues.append(
+                ValidationIssue(
+                    "geometry", "edge %d -> %d is not embedded" % (parent.node_id, node.node_id)
+                )
+            )
+            continue
+        distance = node.location.distance_to(parent.location)
+        if node.edge_length < distance - _GEOM_TOL:
+            issues.append(
+                ValidationIssue(
+                    "geometry",
+                    "edge %d -> %d books %.6g wire for a %.6g distance"
+                    % (parent.node_id, node.node_id, node.edge_length, distance),
+                )
+            )
+    return issues
+
+
+def _check_delays(tree) -> List[ValidationIssue]:
+    issues: List[ValidationIssue] = []
+    fast = sink_delays(tree)
+    oracle = RcTree.from_clock_tree(tree).elmore_delays()
+    for sink_id, fast_delay in fast.items():
+        oracle_delay = oracle[sink_id]
+        scale = max(abs(fast_delay), abs(oracle_delay), 1.0)
+        if abs(fast_delay - oracle_delay) > _DELAY_REL_TOL * scale + 1e-6:
+            issues.append(
+                ValidationIssue(
+                    "delay",
+                    "sink %d: fast Elmore %.6g differs from RC oracle %.6g"
+                    % (sink_id, fast_delay, oracle_delay),
+                )
+            )
+    return issues
+
+
+def _check_instance_coverage(tree, instance) -> List[ValidationIssue]:
+    issues: List[ValidationIssue] = []
+    sinks_by_location = {}
+    for node in tree.sinks():
+        key = (round(node.location.x, 6), round(node.location.y, 6))
+        sinks_by_location.setdefault(key, []).append(node)
+
+    if len(tree.sinks()) != instance.num_sinks:
+        issues.append(
+            ValidationIssue(
+                "coverage",
+                "tree has %d sinks but the instance has %d"
+                % (len(tree.sinks()), instance.num_sinks),
+            )
+        )
+    for sink in instance.sinks:
+        key = (round(sink.location.x, 6), round(sink.location.y, 6))
+        candidates = sinks_by_location.get(key, [])
+        match = next(
+            (
+                node
+                for node in candidates
+                if abs(node.sink_cap - sink.cap) <= 1e-9 and node.group == sink.group
+            ),
+            None,
+        )
+        if match is None:
+            issues.append(
+                ValidationIssue(
+                    "coverage",
+                    "instance sink %d (group %d) has no matching tree sink"
+                    % (sink.sink_id, sink.group),
+                )
+            )
+    root = tree.root()
+    if root.location is not None and root.location.distance_to(instance.source) > _GEOM_TOL:
+        issues.append(
+            ValidationIssue(
+                "coverage",
+                "tree source at %r does not match the instance source %r"
+                % (root.location, instance.source),
+            )
+        )
+    return issues

@@ -1,0 +1,55 @@
+"""Wirelength metrics and the "Reduction" column of the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WirelengthReport", "wirelength_report", "reduction_percent"]
+
+
+@dataclass
+class WirelengthReport:
+    """Breakdown of the wire in one routed tree (micrometres)."""
+
+    total: float
+    snaking: float
+    source_connection: float
+    num_edges: int
+
+    @property
+    def straight(self) -> float:
+        """Wire that is not snaking detour."""
+        return self.total - self.snaking
+
+    @property
+    def snaking_fraction(self) -> float:
+        """Fraction of the total wire spent on balancing detours."""
+        return self.snaking / self.total if self.total > 0.0 else 0.0
+
+
+def wirelength_report(tree) -> WirelengthReport:
+    """Compute the :class:`WirelengthReport` of an embedded tree."""
+    total = tree.total_wirelength()
+    snaking = tree.snaking_wirelength()
+    root = tree.root()
+    source_edge = 0.0
+    if root.children:
+        source_edge = sum(tree.node(child).edge_length for child in root.children)
+    num_edges = sum(1 for node in tree.nodes() if node.parent is not None)
+    return WirelengthReport(
+        total=total,
+        snaking=snaking,
+        source_connection=source_edge,
+        num_edges=num_edges,
+    )
+
+
+def reduction_percent(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``.
+
+    Matches the paper's "Reduction" column: positive when ``improved`` uses
+    less wire than ``baseline``.
+    """
+    if baseline <= 0.0:
+        raise ValueError("baseline wirelength must be positive")
+    return (baseline - improved) / baseline * 100.0

@@ -1,0 +1,183 @@
+"""Command-line interface for the repro library.
+
+Subcommands::
+
+    repro generate  -- generate a benchmark instance file
+    repro route     -- route an instance file and print a summary
+    repro table1    -- reproduce Table I (clustered sink groups)
+    repro table2    -- reproduce Table II (intermingled sink groups)
+    repro figure1   -- reproduce Figure 1 (zero vs bounded skew)
+    repro figure2   -- reproduce Figure 2 (separate vs cross-group merging)
+
+All experiment commands accept ``--circuits`` and ``--groups`` so that quick
+subsets can be run during development; the defaults match the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table, rows_to_csv
+from repro.analysis.skew import skew_report
+from repro.analysis.validate import validate_result
+from repro.circuits.grouping import clustered_groups, intermingled_groups
+from repro.circuits.io import load_instance, save_instance
+from repro.circuits.r_circuits import available_circuits, make_r_circuit
+from repro.core.ast_dme import AstDme, AstDmeConfig
+from repro.cts.bst import ExtBst
+from repro.cts.dme import GreedyDme
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Associative skew clock routing (AST-DME) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a benchmark instance file")
+    gen.add_argument("circuit", choices=available_circuits())
+    gen.add_argument("output", help="path of the instance file to write")
+    gen.add_argument("--groups", type=int, default=1, help="number of sink groups")
+    gen.add_argument(
+        "--grouping",
+        choices=("clustered", "intermingled"),
+        default="intermingled",
+        help="how to assign sinks to groups when --groups > 1",
+    )
+    gen.add_argument("--seed", type=int, default=7, help="grouping seed")
+
+    route = sub.add_parser("route", help="route an instance file and print a summary")
+    route.add_argument("instance", help="instance file written by 'repro generate'")
+    route.add_argument(
+        "--algorithm",
+        choices=("ast-dme", "ext-bst", "greedy-dme"),
+        default="ast-dme",
+    )
+    route.add_argument("--bound-ps", type=float, default=10.0, help="intra-group skew bound")
+    route.add_argument("--validate", action="store_true", help="run full validation")
+
+    for name, help_text in (
+        ("table1", "reproduce Table I (clustered sink groups)"),
+        ("table2", "reproduce Table II (intermingled sink groups)"),
+    ):
+        table = sub.add_parser(name, help=help_text)
+        table.add_argument(
+            "--circuits",
+            nargs="+",
+            default=["r1", "r2", "r3"],
+            choices=available_circuits(),
+            help="benchmark circuits to run (default: r1 r2 r3)",
+        )
+        table.add_argument(
+            "--groups",
+            nargs="+",
+            type=int,
+            default=[4, 6, 8, 10],
+            help="group counts to sweep",
+        )
+        table.add_argument("--bound-ps", type=float, default=10.0)
+        table.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    sub.add_parser("figure1", help="reproduce Figure 1 (zero vs bounded skew)")
+    sub.add_parser("figure2", help="reproduce Figure 2 (separate vs cross-group merging)")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    instance = make_r_circuit(args.circuit)
+    if args.groups > 1:
+        if args.grouping == "clustered":
+            instance = clustered_groups(instance, args.groups)
+        else:
+            instance = intermingled_groups(instance, args.groups, seed=args.seed)
+    save_instance(instance, args.output)
+    print("wrote %s (%d sinks, %d groups)" % (args.output, instance.num_sinks, instance.num_groups))
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    if args.algorithm == "ast-dme":
+        router = AstDme(AstDmeConfig(skew_bound_ps=args.bound_ps))
+    elif args.algorithm == "ext-bst":
+        router = ExtBst(skew_bound_ps=args.bound_ps)
+    else:
+        router = GreedyDme()
+    result = router.route(instance)
+    report = skew_report(result.tree)
+    print("instance       : %s (%d sinks, %d groups)" % (instance.name, instance.num_sinks, instance.num_groups))
+    print("algorithm      : %s" % args.algorithm)
+    print("wirelength     : %.0f" % result.wirelength)
+    print("global skew    : %.1f ps" % report.global_skew_ps)
+    print("intra-group    : %.1f ps (worst group)" % report.max_intra_group_skew_ps)
+    print("cpu            : %.2f s" % result.elapsed_seconds)
+    if args.validate:
+        issues = validate_result(result, intra_bound_ps=args.bound_ps)
+        if issues:
+            for issue in issues:
+                print("VALIDATION: %s" % issue)
+            return 1
+        print("validation     : ok")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace, which: str) -> int:
+    config = ExperimentConfig(group_counts=tuple(args.groups), skew_bound_ps=args.bound_ps)
+    runner = run_table1 if which == "table1" else run_table2
+    rows = runner(circuits=args.circuits, config=config)
+    if args.csv:
+        print(rows_to_csv(rows))
+    else:
+        title = "Table I (clustered groups)" if which == "table1" else "Table II (intermingled groups)"
+        print(format_table(rows, title=title))
+    return 0
+
+
+def _cmd_figure1(_: argparse.Namespace) -> int:
+    result = run_figure1()
+    print("zero-skew tree    : wirelength %.0f, skew %.2f ps" % (result.zero_skew_wirelength, result.zero_skew_ps))
+    print("bounded-skew tree : wirelength %.0f, skew %.2f ps (bound %.1f ps)"
+          % (result.bounded_wirelength, result.bounded_skew_ps, result.bound_ps))
+    print("wire saved        : %.0f" % result.wirelength_saving)
+    return 0
+
+
+def _cmd_figure2(_: argparse.Namespace) -> int:
+    result = run_figure2()
+    print("separate per-group trees : wirelength %.0f" % result.separate_wirelength)
+    print("cross-group AST-DME tree : wirelength %.0f" % result.merged_wirelength)
+    print("reduction                : %.1f%%" % result.reduction_pct)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "route":
+        return _cmd_route(args)
+    if args.command in ("table1", "table2"):
+        return _cmd_table(args, args.command)
+    if args.command == "figure1":
+        return _cmd_figure1(args)
+    if args.command == "figure2":
+        return _cmd_figure2(args)
+    parser.error("unknown command %r" % args.command)  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's contribution: the AST-DME associative-skew clock router.
+
+The associative skew tree (AST) problem partitions the clock sinks into groups
+``G1..Gk``; a skew constraint applies only between sinks of the same group.
+The :class:`AstDme` router merges subtrees bottom-up in nearest-neighbour
+order, dispatching each merge on the relationship between the two subtrees'
+group sets (Fig. 6 of the paper):
+
+* both from the same group          -> classic DME / BST balanced merge,
+* from entirely different groups    -> unconstrained merge on the shortest
+                                       distance locus (no snaking ever),
+* sharing one or more groups        -> balanced merge on the intersection of
+                                       the feasible skew ranges of the shared
+                                       groups, snaking when necessary
+                                       (Eqs. 5.1-5.3).
+
+The two baselines of the evaluation, greedy-DME (zero skew) and EXT-BST
+(a single global 10 ps bound), are the same engine run with all sinks in one
+group; their thin wrappers live in :mod:`repro.cts`.
+"""
+
+from repro.core.balancing import (
+    MergeEdges,
+    balance_split,
+    feasible_offset_interval,
+    offset_at_split,
+    solve_merge,
+    split_for_offset,
+)
+from repro.core.group_constraints import GroupAssociation, SkewConstraints
+from repro.core.subtree import Subtree
+from repro.core.merge_cases import MergeDecision, classify_pair, plan_merge
+from repro.core.merging_order import MergeOrderPolicy
+from repro.core.ast_dme import AstDme, AstDmeConfig, RoutingResult
+
+__all__ = [
+    "AstDme",
+    "AstDmeConfig",
+    "GroupAssociation",
+    "MergeDecision",
+    "MergeEdges",
+    "MergeOrderPolicy",
+    "RoutingResult",
+    "SkewConstraints",
+    "Subtree",
+    "balance_split",
+    "classify_pair",
+    "feasible_offset_interval",
+    "offset_at_split",
+    "plan_merge",
+    "solve_merge",
+    "split_for_offset",
+]

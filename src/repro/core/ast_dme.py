@@ -1,0 +1,271 @@
+"""The AST-DME router (Fig. 6 of the paper) and its configuration.
+
+``AstDme.route`` runs the full two-phase construction:
+
+1. *Bottom-up merging.*  Every sink starts as a one-node subtree.  In each
+   pass a merging-order policy proposes disjoint nearest pairs; each pair is
+   merged by :func:`repro.core.merge_cases.plan_merge`, which dispatches on
+   whether the subtrees share sink groups and produces the new root's
+   placement locus, the two wire lengths (possibly snaked) and the merged
+   per-group delay intervals.  Merging continues until one subtree remains,
+   which is then connected to the clock source.
+2. *Top-down embedding.*  Concrete locations are chosen for every internal
+   node (:func:`repro.cts.embedding.embed_tree`); booked wire lengths are
+   never changed, so all delays and skews decided bottom-up are preserved.
+
+Running the router with ``single_group=True`` ignores the instance's grouping
+and yields the conventional bounded-skew (EXT-BST) or zero-skew (greedy-DME)
+trees used as baselines in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.circuits.instance import ClockInstance
+from repro.core.group_constraints import GroupAssociation, SkewConstraints
+from repro.core.lazy_sdr import make_pending, resolve_pending
+from repro.core.merge_cases import DISJOINT, MergeDecision, plan_merge
+from repro.core.merging_order import MergeOrderPolicy
+from repro.core.subtree import Subtree
+from repro.cts.embedding import embed_tree
+from repro.cts.tree import ClockTree
+from repro.delay.technology import Technology
+from repro.geometry.trr import Trr
+
+__all__ = ["AstDmeConfig", "MergeStats", "RoutingResult", "AstDme"]
+
+
+@dataclass(frozen=True)
+class AstDmeConfig:
+    """Tunable parameters of the AST-DME router."""
+
+    #: Intra-group skew bound in picoseconds (the paper uses 10 ps).
+    skew_bound_ps: float = 10.0
+    #: Merge several disjoint nearest pairs per pass (Edahiro multi-merge).
+    multi_merge: bool = True
+    #: Fraction of possible pairs merged per pass in multi-merge mode.
+    merge_fraction: float = 0.5
+    #: Weight of the delay-target merging-order enhancement (0 disables it).
+    delay_target_weight: float = 0.0
+    #: KD-tree candidates examined per subtree during pair selection.
+    neighbor_candidates: int = 8
+    #: Allow wire snaking in constrained merges (required for exactness).
+    allow_snaking: bool = True
+    #: Fraction of the intra-group skew bound each cross-group merge may spend
+    #: as positional freedom when its split is resolved lazily (see
+    #: repro.core.lazy_sdr).  Small values guarantee later shared-group merges
+    #: stay feasible; large values chase wirelength more aggressively.
+    sdr_skew_budget: float = 0.45
+
+    def order_policy(self) -> MergeOrderPolicy:
+        """The merging-order policy implied by this configuration."""
+        return MergeOrderPolicy(
+            multi_merge=self.multi_merge,
+            merge_fraction=self.merge_fraction,
+            delay_target_weight=self.delay_target_weight,
+            neighbor_candidates=self.neighbor_candidates,
+        )
+
+    def constraints(self) -> SkewConstraints:
+        """The intra-group skew constraints implied by this configuration."""
+        return SkewConstraints.bounded_ps(self.skew_bound_ps)
+
+
+@dataclass
+class MergeStats:
+    """Counters collected during the bottom-up phase."""
+
+    passes: int = 0
+    merges_by_case: Dict[str, int] = field(default_factory=dict)
+    snaked_merges: int = 0
+    total_detour: float = 0.0
+    max_violation: float = 0.0
+
+    def record(self, decision: MergeDecision) -> None:
+        self.merges_by_case[decision.case] = self.merges_by_case.get(decision.case, 0) + 1
+        if decision.snaked:
+            self.snaked_merges += 1
+            self.total_detour += decision.edges.detour
+        self.max_violation = max(self.max_violation, decision.violation)
+
+    @property
+    def total_merges(self) -> int:
+        return sum(self.merges_by_case.values())
+
+
+@dataclass
+class RoutingResult:
+    """Output of one routing run."""
+
+    tree: ClockTree
+    instance: ClockInstance
+    stats: MergeStats
+    association: GroupAssociation
+    loci: Dict[int, Trr]
+    elapsed_seconds: float
+
+    @property
+    def wirelength(self) -> float:
+        """Total wirelength of the routed tree (snaking included)."""
+        return self.tree.total_wirelength()
+
+
+class AstDme:
+    """Associative skew clock router (the paper's contribution)."""
+
+    def __init__(
+        self,
+        config: AstDmeConfig = AstDmeConfig(),
+        constraints: Optional[SkewConstraints] = None,
+    ) -> None:
+        self.config = config
+        self._constraints = constraints
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        instance: ClockInstance,
+        single_group: bool = False,
+    ) -> RoutingResult:
+        """Route ``instance`` and return the embedded tree plus statistics.
+
+        Args:
+            instance: the problem to solve.
+            single_group: when True the instance's grouping is ignored for
+                routing purposes (every sink constrained against every other),
+                which reproduces the conventional EXT-BST / greedy-DME
+                baselines.  Sink nodes of the resulting tree still carry the
+                original group ids so that skew reports stay comparable.
+        """
+        start = time.perf_counter()
+        tech = instance.technology
+        constraints = self._constraints or self.config.constraints()
+        policy = self.config.order_policy()
+
+        tree = ClockTree(technology=tech)
+        loci: Dict[int, Trr] = {}
+        subtrees: List[Subtree] = []
+        for sink in instance.sinks:
+            node_id = tree.add_sink(
+                location=sink.location,
+                sink_cap=sink.cap,
+                group=sink.group,
+                name="sink-%d" % sink.sink_id,
+            )
+            routing_group = 0 if single_group else sink.group
+            subtrees.append(
+                Subtree.for_sink(
+                    node_id=node_id,
+                    locus=Trr.from_point(sink.location),
+                    cap=sink.cap,
+                    group=routing_group,
+                )
+            )
+
+        stats = MergeStats()
+        association = GroupAssociation(instance.groups())
+
+        while len(subtrees) > 1:
+            pairs = policy.pairs_for_pass(subtrees)
+            if not pairs:
+                raise RuntimeError("merging-order policy returned no pairs")
+            stats.passes += 1
+            merged_indices = set()
+            new_subtrees: List[Subtree] = []
+            for index_a, index_b in pairs:
+                sub_a = subtrees[index_a]
+                sub_b = subtrees[index_b]
+                # Spend any deferred cross-group freedom now that the next
+                # merge partner is known (see repro.core.lazy_sdr).
+                resolve_pending(
+                    sub_a, sub_b.locus, tech, tree, loci,
+                    max_deviation=self._skew_budget(sub_a, constraints),
+                )
+                resolve_pending(
+                    sub_b, sub_a.locus, tech, tree, loci,
+                    max_deviation=self._skew_budget(sub_b, constraints),
+                )
+                decision = plan_merge(
+                    sub_a,
+                    sub_b,
+                    constraints,
+                    tech,
+                    allow_snaking=self.config.allow_snaking,
+                )
+                node_id = tree.add_internal(
+                    children=[sub_a.node_id, sub_b.node_id],
+                    edge_lengths=[decision.edges.ea, decision.edges.eb],
+                )
+                loci[node_id] = decision.locus
+                merged_subtree = Subtree(
+                    node_id=node_id,
+                    locus=decision.locus,
+                    cap=decision.cap,
+                    delays=decision.delays,
+                    num_sinks=sub_a.num_sinks + sub_b.num_sinks,
+                )
+                if decision.case == DISJOINT and not decision.edges.snaked:
+                    merged_subtree.pending = make_pending(
+                        sub_a, sub_b, decision.edges.distance, decision.edges.ea
+                    )
+                new_subtrees.append(merged_subtree)
+                stats.record(decision)
+                self._record_association(association, sub_a, sub_b)
+                merged_indices.add(index_a)
+                merged_indices.add(index_b)
+            subtrees = [
+                s for i, s in enumerate(subtrees) if i not in merged_indices
+            ] + new_subtrees
+
+        root_subtree = subtrees[0]
+        resolve_pending(
+            root_subtree,
+            Trr.from_point(instance.source),
+            tech,
+            tree,
+            loci,
+            max_deviation=self._skew_budget(root_subtree, constraints),
+        )
+        source_edge = root_subtree.locus.distance_to_point(instance.source)
+        tree.add_source(instance.source, root_subtree.node_id, source_edge)
+
+        embed_tree(tree, loci)
+        elapsed = time.perf_counter() - start
+        return RoutingResult(
+            tree=tree,
+            instance=instance,
+            stats=stats,
+            association=association,
+            loci=loci,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _skew_budget(self, subtree: Subtree, constraints: SkewConstraints) -> float:
+        """Delay deviation a lazy resolution of ``subtree`` may spend.
+
+        The budget is a fraction of the tightest intra-group bound among the
+        groups present in the subtree, so that two independently-resolved
+        commitments of the same group pair can still be reconciled within the
+        bound when their subtrees later merge.
+        """
+        tightest = min(constraints.bound_for(group) for group in subtree.groups)
+        return self.config.sdr_skew_budget * tightest
+
+    @staticmethod
+    def _record_association(
+        association: GroupAssociation, sub_a: Subtree, sub_b: Subtree
+    ) -> None:
+        """Record that every group of ``sub_a`` is now associated with those of ``sub_b``."""
+        groups_a = sorted(sub_a.groups)
+        groups_b = sorted(sub_b.groups)
+        if not groups_a or not groups_b:
+            return
+        anchor = groups_a[0]
+        for group in groups_a[1:]:
+            association.associate(anchor, group)
+        for group in groups_b:
+            association.associate(anchor, group)

@@ -1,0 +1,197 @@
+"""Elmore delay balancing for bottom-up subtree merges.
+
+When two subtrees ``Ta`` and ``Tb`` whose placement loci are a Manhattan
+distance ``d`` apart are merged, the router must pick wire lengths ``ea`` (to
+``Ta``) and ``eb`` (to ``Tb``).  The *balance offset* of a choice is
+
+    g = D(ea, Ca) - D(eb, Cb)
+
+where ``D(x, C) = r x (c x / 2 + C)`` is the Elmore delay added by a wire of
+length ``x`` driving downstream capacitance ``C``.  Three facts drive all the
+closed forms in this module:
+
+* along the detour-free family ``ea + eb = d`` the offset is *linear* in
+  ``ea`` (the quadratic terms cancel), so the split realising a given offset
+  is a one-line formula;
+* the offset is monotonically increasing in ``ea``, so skew constraints become
+  intervals of admissible offsets;
+* offsets outside the detour-free range ``[g(0), g(d)]`` are realised by wire
+  snaking: one side keeps length 0 (or ``d``) and the other side's length is
+  the positive root of the wire-delay quadratic -- this is exactly the
+  ``gamma`` of Eqs. (5.1)-(5.3) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.delay.technology import Technology
+from repro.delay.wire import wire_delay, wire_length_for_delay
+
+__all__ = [
+    "MergeEdges",
+    "offset_at_split",
+    "split_for_offset",
+    "detour_free_offset_range",
+    "feasible_offset_interval",
+    "solve_merge",
+    "balance_split",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MergeEdges:
+    """The wire lengths chosen for one merge."""
+
+    ea: float
+    eb: float
+    distance: float
+
+    def __post_init__(self) -> None:
+        if self.ea < -_EPS or self.eb < -_EPS:
+            raise ValueError("edge lengths must be non-negative")
+        if self.total < self.distance - 1e-6:
+            raise ValueError(
+                "edges (%.6g + %.6g) shorter than the merge distance %.6g"
+                % (self.ea, self.eb, self.distance)
+            )
+
+    @property
+    def total(self) -> float:
+        """Total wire added by the merge."""
+        return self.ea + self.eb
+
+    @property
+    def detour(self) -> float:
+        """Extra wire beyond the Manhattan distance (snaking amount)."""
+        return max(0.0, self.total - self.distance)
+
+    @property
+    def snaked(self) -> bool:
+        """Whether the merge required wire snaking."""
+        return self.detour > 1e-6
+
+
+def offset_at_split(
+    ea: float, distance: float, cap_a: float, cap_b: float, tech: Technology
+) -> float:
+    """Balance offset ``D(ea, Ca) - D(eb, Cb)`` for the detour-free split ``eb = d - ea``."""
+    eb = distance - ea
+    return wire_delay(max(ea, 0.0), cap_a, tech) - wire_delay(max(eb, 0.0), cap_b, tech)
+
+
+def split_for_offset(
+    offset: float, distance: float, cap_a: float, cap_b: float, tech: Technology
+) -> float:
+    """The detour-free split ``ea`` whose balance offset equals ``offset``.
+
+    Along ``ea + eb = d`` the offset is linear in ``ea``:
+
+        g(ea) = r (c d + Ca + Cb) ea - r (c d^2 / 2 + Cb d)
+
+    The returned value may fall outside ``[0, d]``, in which case no
+    detour-free split realises the offset and the caller must snake.
+    """
+    r = tech.unit_resistance
+    c = tech.unit_capacitance
+    slope = r * (c * distance + cap_a + cap_b)
+    if slope <= 0.0:
+        return 0.0
+    intercept = r * (c * distance * distance / 2.0 + cap_b * distance)
+    return (offset + intercept) / slope
+
+
+def detour_free_offset_range(
+    distance: float, cap_a: float, cap_b: float, tech: Technology
+) -> Tuple[float, float]:
+    """The offsets reachable without snaking: ``[g(0), g(d)] = [-D(d, Cb), D(d, Ca)]``."""
+    return (
+        -wire_delay(distance, cap_b, tech),
+        wire_delay(distance, cap_a, tech),
+    )
+
+
+def feasible_offset_interval(
+    interval_a: Tuple[float, float],
+    interval_b: Tuple[float, float],
+    bound: float,
+) -> Tuple[float, float]:
+    """Offsets keeping a shared group's merged delay spread within ``bound``.
+
+    ``interval_a`` / ``interval_b`` are the group's delay intervals measured
+    from the two subtree roots.  After the merge the group's spread is bounded
+    by ``bound`` exactly when the balance offset ``g`` satisfies
+
+        bhi - alo - bound  <=  g  <=  bound - ahi + blo.
+
+    The result may be empty (``lo > hi``) when the children's spreads already
+    consume more slack than the bound provides.
+    """
+    if bound < 0.0:
+        raise ValueError("skew bound must be non-negative")
+    alo, ahi = interval_a
+    blo, bhi = interval_b
+    return (bhi - alo - bound, bound - ahi + blo)
+
+
+def solve_merge(
+    distance: float,
+    cap_a: float,
+    cap_b: float,
+    tech: Technology,
+    target_offset: float,
+    allow_snaking: bool = True,
+) -> MergeEdges:
+    """Wire lengths of minimum total length realising ``target_offset``.
+
+    Detour-free splits are preferred; when the target lies outside the
+    detour-free range and ``allow_snaking`` is true, the shorter side is pinned
+    to zero and the longer side is extended (wire snaking).  When snaking is
+    disallowed the target is clamped to the detour-free range, so the result
+    always has total length exactly ``distance``.
+    """
+    if distance < 0.0:
+        raise ValueError("merge distance must be non-negative")
+    g_lo, g_hi = detour_free_offset_range(distance, cap_a, cap_b, tech)
+    if not allow_snaking:
+        target_offset = min(max(target_offset, g_lo), g_hi)
+
+    if target_offset > g_hi + _EPS:
+        # Even placing the merge point on top of Tb leaves Ta too fast:
+        # snake the wire towards Ta (eb = 0, ea > d).
+        ea = wire_length_for_delay(target_offset, cap_a, tech)
+        return MergeEdges(ea=max(ea, distance), eb=0.0, distance=distance)
+    if target_offset < g_lo - _EPS:
+        eb = wire_length_for_delay(-target_offset, cap_b, tech)
+        return MergeEdges(ea=0.0, eb=max(eb, distance), distance=distance)
+
+    ea = split_for_offset(target_offset, distance, cap_a, cap_b, tech)
+    ea = min(max(ea, 0.0), distance)
+    return MergeEdges(ea=ea, eb=distance - ea, distance=distance)
+
+
+def balance_split(
+    distance: float,
+    delay_a: float,
+    delay_b: float,
+    cap_a: float,
+    cap_b: float,
+    tech: Technology,
+    allow_snaking: bool = True,
+) -> MergeEdges:
+    """Classic zero-skew split: equalise ``delay_a + D(ea)`` and ``delay_b + D(eb)``.
+
+    This is the merge used by greedy-DME; it is also the building block of the
+    group-aware merges (which merely restrict the admissible offset first).
+    """
+    return solve_merge(
+        distance,
+        cap_a,
+        cap_b,
+        tech,
+        target_offset=delay_b - delay_a,
+        allow_snaking=allow_snaking,
+    )

@@ -1,0 +1,176 @@
+"""Merge planning: the case dispatch of Fig. 6 of the paper.
+
+Given two subtrees, :func:`plan_merge` decides where the new root may live,
+how long the two new wires are, and what the merged per-group delay intervals
+become.  The three cases are:
+
+``same_group``
+    Both subtrees contain only one group and it is the same one.  This is the
+    classic DME (bound 0) or BST (bound > 0) merge.
+
+``disjoint``
+    No group appears in both subtrees.  There is no constraint linking the two
+    sides, so the merge node lies on a shortest-distance locus and the total
+    wire equals the Manhattan distance between the loci -- never snaked.  The
+    detour-free freedom is still used to balance representative delays, which
+    reduces snaking in later merges that *do* share groups.
+
+``shared``
+    At least one group appears on both sides (the "partially shared" Instances
+    1 and 2 of Chapter V.E).  Every shared group contributes an interval of
+    admissible balance offsets; the intersection of those intervals is the
+    feasible region (step 7 of Fig. 6).  When the intersection is empty the
+    offset minimising the worst violation is used; when the chosen offset is
+    not reachable detour-free, wire snaking extends one side (Eqs. 5.1-5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.balancing import (
+    MergeEdges,
+    feasible_offset_interval,
+    solve_merge,
+)
+from repro.core.group_constraints import SkewConstraints
+from repro.core.subtree import Subtree
+from repro.delay.technology import Technology
+from repro.delay.wire import wire_capacitance, wire_delay
+from repro.geometry.sdr import balance_locus
+from repro.geometry.trr import Trr
+
+__all__ = ["MergeDecision", "classify_pair", "plan_merge"]
+
+#: Merge case labels.
+SAME_GROUP = "same_group"
+DISJOINT = "disjoint"
+SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class MergeDecision:
+    """Everything needed to materialise one merge."""
+
+    case: str
+    edges: MergeEdges
+    locus: Trr
+    cap: float
+    delays: Dict[int, Tuple[float, float]]
+    delay_a: float
+    delay_b: float
+    violation: float = 0.0
+
+    @property
+    def wirelength(self) -> float:
+        """Wire added by this merge."""
+        return self.edges.total
+
+    @property
+    def snaked(self) -> bool:
+        """Whether the merge needed wire snaking."""
+        return self.edges.snaked
+
+
+def classify_pair(sub_a: Subtree, sub_b: Subtree) -> Tuple[str, FrozenSet[int]]:
+    """Classify a candidate merge and return ``(case, shared_groups)``."""
+    shared = sub_a.shares_group_with(sub_b)
+    if not shared:
+        return DISJOINT, shared
+    if sub_a.groups == sub_b.groups == shared and len(shared) == 1:
+        return SAME_GROUP, shared
+    return SHARED, shared
+
+
+def plan_merge(
+    sub_a: Subtree,
+    sub_b: Subtree,
+    constraints: SkewConstraints,
+    tech: Technology,
+    allow_snaking: bool = True,
+) -> MergeDecision:
+    """Plan the merge of ``sub_a`` and ``sub_b`` under ``constraints``.
+
+    The returned decision carries the chosen wire lengths, the placement locus
+    of the new root, the merged downstream capacitance and the merged
+    per-group delay intervals.  The caller materialises it into the clock tree
+    and into a new :class:`~repro.core.subtree.Subtree`.
+    """
+    case, shared = classify_pair(sub_a, sub_b)
+    distance = sub_a.locus.distance_to(sub_b.locus)
+
+    # The offset that would equalise the slowest sink of each side; used as a
+    # secondary objective whenever the constraints leave freedom.
+    balance_target = sub_b.max_delay - sub_a.max_delay
+
+    violation = 0.0
+    if not shared:
+        # Unconstrained merge: keep the wire at the minimum possible length,
+        # but use the free choice of split to chase the balance target.
+        edges = solve_merge(
+            distance,
+            sub_a.cap,
+            sub_b.cap,
+            tech,
+            target_offset=balance_target,
+            allow_snaking=False,
+        )
+    else:
+        offset_lo = float("-inf")
+        offset_hi = float("inf")
+        for group in shared:
+            lo, hi = feasible_offset_interval(
+                sub_a.delay_interval(group),
+                sub_b.delay_interval(group),
+                constraints.bound_for(group),
+            )
+            offset_lo = max(offset_lo, lo)
+            offset_hi = min(offset_hi, hi)
+        if offset_lo <= offset_hi:
+            target = min(max(balance_target, offset_lo), offset_hi)
+        else:
+            # Incompatible shared-group offsets: no single merge point can
+            # satisfy every bound.  Take the offset minimising the worst
+            # violation (the midpoint of the empty "interval").
+            target = (offset_lo + offset_hi) / 2.0
+            violation = (offset_lo - offset_hi) / 2.0
+        edges = solve_merge(
+            distance,
+            sub_a.cap,
+            sub_b.cap,
+            tech,
+            target_offset=target,
+            allow_snaking=allow_snaking,
+        )
+
+    delay_a = wire_delay(edges.ea, sub_a.cap, tech)
+    delay_b = wire_delay(edges.eb, sub_b.cap, tech)
+
+    merged_delays: Dict[int, Tuple[float, float]] = {}
+    for group, (lo, hi) in sub_a.delays.items():
+        merged_delays[group] = (lo + delay_a, hi + delay_a)
+    for group, (lo, hi) in sub_b.delays.items():
+        shifted = (lo + delay_b, hi + delay_b)
+        if group in merged_delays:
+            existing = merged_delays[group]
+            merged_delays[group] = (
+                min(existing[0], shifted[0]),
+                max(existing[1], shifted[1]),
+            )
+        else:
+            merged_delays[group] = shifted
+
+    cap = sub_a.cap + sub_b.cap + wire_capacitance(edges.total, tech)
+    locus = balance_locus(sub_a.locus, sub_b.locus, edges.ea, edges.eb)
+
+    return MergeDecision(
+        case=case,
+        edges=edges,
+        locus=locus,
+        cap=cap,
+        delays=merged_delays,
+        delay_a=delay_a,
+        delay_b=delay_b,
+        violation=violation,
+    )

@@ -1,0 +1,96 @@
+"""Merging-order policies for the bottom-up phase.
+
+The baseline order is "minimum merging cost": the pair of subtrees with the
+smallest distance between their placement loci is merged first.  The paper
+adopts two enhancements from earlier work (Chapter V.F), both exposed here:
+
+* *multi-merge* (Edahiro): merge many disjoint nearest pairs per pass instead
+  of a single pair, which mainly reduces runtime;
+* *delay-target ordering* (Chaturvedi & Hu): prefer merging subtrees that are
+  already slow, which evens out delay targets and reduces later wire snaking.
+
+A policy turns the list of active subtrees into the list of index pairs to
+merge in the current pass; the router is agnostic to how they were chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.subtree import Subtree
+from repro.cts.nearest_neighbor import select_merge_pairs
+
+__all__ = ["MergeOrderPolicy"]
+
+
+@dataclass(frozen=True)
+class MergeOrderPolicy:
+    """Configuration of the merging order.
+
+    Attributes:
+        multi_merge: merge several disjoint nearest pairs per pass when True,
+            exactly one pair per pass when False.
+        merge_fraction: fraction of the maximum possible number of pairs
+            (``n // 2``) merged per pass in multi-merge mode.
+        delay_target_weight: weight of the delay-target bias.  0 disables the
+            enhancement; positive values subtract
+            ``weight * (subtree max delay) / (largest max delay)`` scaled by
+            the current median pair distance from the cost of pairs involving
+            slow subtrees, so they are merged earlier.
+        neighbor_candidates: KD-tree candidate count per subtree.
+    """
+
+    multi_merge: bool = True
+    merge_fraction: float = 0.5
+    delay_target_weight: float = 0.0
+    neighbor_candidates: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.merge_fraction <= 1.0:
+            raise ValueError("merge_fraction must lie in (0, 1]")
+        if self.delay_target_weight < 0.0:
+            raise ValueError("delay_target_weight must be non-negative")
+        if self.neighbor_candidates < 1:
+            raise ValueError("neighbor_candidates must be at least 1")
+
+    # ------------------------------------------------------------------
+    def pairs_for_pass(self, subtrees: Sequence[Subtree]) -> List[Tuple[int, int]]:
+        """Indices of the subtree pairs to merge in the current pass."""
+        n = len(subtrees)
+        if n < 2:
+            return []
+        if self.multi_merge:
+            max_pairs = max(1, int(round(self.merge_fraction * (n // 2))))
+        else:
+            max_pairs = 1
+
+        bias = self._delay_bias(subtrees) if self.delay_target_weight > 0.0 else None
+        pairing = select_merge_pairs(
+            [s.locus for s in subtrees],
+            max_pairs=max_pairs,
+            cost_bias=bias,
+            k_candidates=self.neighbor_candidates,
+        )
+        return list(pairing.pairs)
+
+    # ------------------------------------------------------------------
+    def _delay_bias(self, subtrees: Sequence[Subtree]) -> List[float]:
+        """Per-subtree additive cost bias implementing delay-target ordering.
+
+        Subtrees whose delay is already large receive a negative bias
+        proportional to the spread of locus sizes, so that (all else equal)
+        slow subtrees are merged before fast ones.
+        """
+        max_delays = [s.max_delay for s in subtrees]
+        largest = max(max_delays)
+        if largest <= 0.0:
+            return [0.0] * len(subtrees)
+        # Scale the bias by a representative geometric distance so that the
+        # two cost components are commensurable.
+        spans = [max(s.locus.width_u, s.locus.width_v) for s in subtrees]
+        xs = [s.locus.center().x for s in subtrees]
+        ys = [s.locus.center().y for s in subtrees]
+        extent = max(max(xs) - min(xs), max(ys) - min(ys), max(spans), 1.0)
+        scale = self.delay_target_weight * extent / max(len(subtrees), 1)
+        return [-scale * (d / largest) for d in max_delays]

@@ -1,0 +1,72 @@
+"""Top-down embedding: choosing concrete locations for the merge nodes.
+
+The bottom-up phase fixes edge lengths and placement loci but defers actual
+locations.  This pass walks the finished tree from the source downwards and
+places every internal node at the point of its locus closest to its parent's
+already-chosen location.  By construction of the merge loci, every point of a
+parent's locus is within the booked edge length of each child's locus, so the
+geometric distance never exceeds the booked length; when it is strictly
+shorter, the difference is realised as wire snaking at routing time and the
+booked length (hence every delay) is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+__all__ = ["embed_tree"]
+
+_TOL = 1e-6
+
+
+def embed_tree(
+    tree,
+    loci: Dict[int, Trr],
+    source_location: Optional[Point] = None,
+) -> None:
+    """Assign locations to every node of ``tree`` that does not have one yet.
+
+    Args:
+        tree: the :class:`~repro.cts.tree.ClockTree` under construction.  Sinks
+            and the source must already carry locations.
+        loci: placement locus of every internal node, keyed by node id.
+        source_location: optional override for the source location check.
+
+    Raises:
+        ValueError: when an internal node has no locus, or when a chosen
+            location would require more wire than the booked edge length
+            (which would indicate a bug in the bottom-up phase).
+    """
+    root = tree.root()
+    if root.location is None:
+        if source_location is None:
+            raise ValueError("the tree root has no location and none was supplied")
+        tree.set_location(root.node_id, source_location)
+
+    for node_id in tree.topological_order():
+        node = tree.node(node_id)
+        parent_location = node.location
+        if parent_location is None:
+            raise ValueError("node %d reached before its location was set" % node_id)
+        for child in tree.children_of(node_id):
+            if child.location is not None:
+                _check_edge(parent_location, child.location, child.edge_length, child.node_id)
+                continue
+            if child.node_id not in loci:
+                raise ValueError("internal node %d has no placement locus" % child.node_id)
+            location = loci[child.node_id].nearest_point_to(parent_location)
+            _check_edge(parent_location, location, child.edge_length, child.node_id)
+            tree.set_location(child.node_id, location)
+
+
+def _check_edge(parent: Point, child: Point, edge_length: float, child_id: int) -> None:
+    """Verify the booked edge length can realise the chosen embedding."""
+    distance = parent.distance_to(child)
+    if distance > edge_length + _TOL:
+        raise ValueError(
+            "edge to node %d needs %.6g wire but only %.6g was booked"
+            % (child_id, distance, edge_length)
+        )

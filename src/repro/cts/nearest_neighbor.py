@@ -1,0 +1,139 @@
+"""Nearest-neighbour pair selection for greedy bottom-up merging.
+
+Greedy-DME (Edahiro 1993) repeatedly merges the pair of subtrees whose roots
+are closest; its multi-merge variant merges many mutually disjoint nearest
+pairs per pass, which cuts the number of neighbour-graph rebuilds and is one
+of the two merging-order enhancements the paper adopts (Chapter V.F).
+
+This module is purely geometric: callers pass the placement loci of the active
+subtrees (plus an optional additive cost bias per subtree, used by the
+delay-target enhancement) and get back a set of disjoint pairs ordered by
+cost.  Candidate generation uses a KD-tree on locus centres in rotated
+coordinates with the Chebyshev metric, followed by exact locus-to-locus
+distances on the candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry.trr import Trr
+
+__all__ = ["NeighborPairing", "select_merge_pairs"]
+
+
+@dataclass
+class NeighborPairing:
+    """The pairs selected for one merging pass."""
+
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    costs: List[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+
+def _candidate_pairs(
+    loci: Sequence[Trr], k_candidates: int
+) -> List[Tuple[float, int, int]]:
+    """Candidate (distance, i, j) triples from a KD-tree over locus centres."""
+    n = len(loci)
+    centres = np.empty((n, 2), dtype=float)
+    for index, locus in enumerate(loci):
+        centres[index, 0] = (locus.ulo + locus.uhi) / 2.0
+        centres[index, 1] = (locus.vlo + locus.vhi) / 2.0
+    tree = cKDTree(centres)
+    k = min(k_candidates + 1, n)
+    _, neighbors = tree.query(centres, k=k, p=np.inf)
+    if k == 1:
+        neighbors = neighbors.reshape(n, 1)
+    seen = set()
+    candidates: List[Tuple[float, int, int]] = []
+    for i in range(n):
+        for j in np.atleast_1d(neighbors[i]):
+            j = int(j)
+            if j == i:
+                continue
+            key = (min(i, j), max(i, j))
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append((loci[i].distance_to(loci[j]), key[0], key[1]))
+    return candidates
+
+
+def _all_pairs(loci: Sequence[Trr]) -> List[Tuple[float, int, int]]:
+    """Every pair with its exact distance; used for small instance counts."""
+    n = len(loci)
+    return [
+        (loci[i].distance_to(loci[j]), i, j) for i in range(n) for j in range(i + 1, n)
+    ]
+
+
+def select_merge_pairs(
+    loci: Sequence[Trr],
+    max_pairs: Optional[int] = None,
+    cost_bias: Optional[Sequence[float]] = None,
+    k_candidates: int = 8,
+    exhaustive_threshold: int = 48,
+) -> NeighborPairing:
+    """Select disjoint nearest pairs among the given loci.
+
+    Args:
+        loci: placement loci of the active subtrees.
+        max_pairs: maximum number of disjoint pairs to return (``None`` means
+            as many as fit; ``1`` gives the strict single-merge order).
+        cost_bias: optional per-subtree additive bias; the cost of a pair is
+            ``distance + bias[i] + bias[j]``.  Negative biases give priority.
+        k_candidates: neighbours considered per subtree when the KD-tree path
+            is used.
+        exhaustive_threshold: below this many subtrees every pair is examined
+            exactly instead of going through the KD-tree.
+
+    Returns:
+        A :class:`NeighborPairing` with the selected index pairs in increasing
+        cost order.  At least one pair is returned whenever two or more loci
+        are supplied.
+    """
+    n = len(loci)
+    if n < 2:
+        return NeighborPairing()
+    if cost_bias is not None and len(cost_bias) != n:
+        raise ValueError("cost_bias must have one entry per locus")
+
+    if n <= exhaustive_threshold:
+        candidates = _all_pairs(loci)
+    else:
+        candidates = _candidate_pairs(loci, k_candidates)
+
+    def pair_cost(item: Tuple[float, int, int]) -> float:
+        distance, i, j = item
+        if cost_bias is None:
+            return distance
+        return distance + cost_bias[i] + cost_bias[j]
+
+    candidates.sort(key=pair_cost)
+
+    limit = max_pairs if max_pairs is not None else n // 2
+    limit = max(1, min(limit, n // 2))
+
+    used = set()
+    pairing = NeighborPairing()
+    for item in candidates:
+        if len(pairing) >= limit:
+            break
+        _, i, j = item
+        if i in used or j in used:
+            continue
+        used.add(i)
+        used.add(j)
+        pairing.pairs.append((i, j))
+        pairing.costs.append(pair_cost(item))
+    return pairing

@@ -1,0 +1,115 @@
+"""Rectilinear realisation of the embedded edges.
+
+The delay and wirelength metrics never need explicit wiring -- edge lengths
+are enough -- but examples and downstream consumers (visualisation, export to
+physical-design flows) want actual rectilinear paths.  Each edge is realised
+as an L-shape between its endpoints plus, when the booked length exceeds the
+Manhattan distance, a serpentine detour ("wire snaking") appended near the
+child end so that the total path length equals the booked length exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.geometry.point import Point
+
+__all__ = ["RectilinearRoute", "route_edges"]
+
+_TOL = 1e-6
+
+
+@dataclass
+class RectilinearRoute:
+    """The realised wiring of one parent-to-child edge."""
+
+    parent_id: int
+    child_id: int
+    points: List[Point] = field(default_factory=list)
+    booked_length: float = 0.0
+
+    @property
+    def length(self) -> float:
+        """Total Manhattan length of the realised path."""
+        return sum(
+            self.points[i].distance_to(self.points[i + 1])
+            for i in range(len(self.points) - 1)
+        )
+
+    @property
+    def detour(self) -> float:
+        """Extra wire beyond the straight Manhattan distance of the endpoints."""
+        if len(self.points) < 2:
+            return 0.0
+        direct = self.points[0].distance_to(self.points[-1])
+        return max(0.0, self.length - direct)
+
+
+def _l_shape(start: Point, end: Point) -> List[Point]:
+    """An L-shaped path from ``start`` to ``end`` (horizontal first)."""
+    if abs(start.x - end.x) <= _TOL or abs(start.y - end.y) <= _TOL:
+        return [start, end]
+    corner = Point(end.x, start.y)
+    return [start, corner, end]
+
+
+def _serpentine(anchor: Point, extra: float, pitch: float) -> List[Point]:
+    """A zig-zag of total length ``extra`` attached at ``anchor``.
+
+    The zig-zag oscillates vertically with the given pitch; the exact shape is
+    irrelevant for delay (only length matters) so the simplest legal pattern
+    is used.
+    """
+    points: List[Point] = []
+    remaining = extra
+    direction = 1.0
+    current = anchor
+    while remaining > _TOL:
+        step = min(pitch, remaining / 2.0) if remaining > 2.0 * _TOL else remaining
+        up = Point(current.x, current.y + direction * step)
+        points.append(up)
+        remaining -= step
+        if remaining <= _TOL:
+            break
+        back = Point(current.x, current.y)
+        points.append(back)
+        remaining -= step
+        direction = -direction
+        current = back
+    return points
+
+
+def route_edges(tree, snake_pitch: float = 10.0) -> Dict[int, RectilinearRoute]:
+    """Realise every embedded edge of ``tree`` as a rectilinear path.
+
+    Returns a mapping from child node id to its route.  Every node of the tree
+    must already have a location (run :func:`repro.cts.embedding.embed_tree`
+    first); the length of each returned route equals the booked edge length to
+    within floating-point tolerance.
+    """
+    routes: Dict[int, RectilinearRoute] = {}
+    for node in tree.nodes():
+        if node.parent is None:
+            continue
+        parent = tree.node(node.parent)
+        if node.location is None or parent.location is None:
+            raise ValueError(
+                "edge %d -> %d is not embedded; run embed_tree first"
+                % (parent.node_id, node.node_id)
+            )
+        path = _l_shape(parent.location, node.location)
+        direct = parent.location.distance_to(node.location)
+        extra = node.edge_length - direct
+        if extra > _TOL:
+            # Insert the serpentine just before the final landing point so the
+            # child pin itself stays where the embedding put it.
+            snake = _serpentine(path[-2] if len(path) > 2 else path[0], extra, snake_pitch)
+            path = path[:-1] + snake + [path[-1]]
+        routes[node.node_id] = RectilinearRoute(
+            parent_id=parent.node_id,
+            child_id=node.node_id,
+            points=path,
+            booked_length=node.edge_length,
+        )
+    return routes

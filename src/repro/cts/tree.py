@@ -1,0 +1,265 @@
+"""The embedded clock tree produced by the routers.
+
+A :class:`ClockTree` is a rooted tree whose leaves are clock sinks and whose
+root is the clock source.  Every node other than the root carries the length
+of the wire connecting it to its parent; the length may exceed the Manhattan
+distance between the endpoints when the router snaked the wire to balance
+delays.  Wirelength, delays and skew reports are all derived from this
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.geometry.point import Point
+
+__all__ = ["ClockNode", "ClockTree"]
+
+#: Node kinds.
+SOURCE = "source"
+INTERNAL = "internal"
+SINK = "sink"
+
+
+@dataclass
+class ClockNode:
+    """A single node of an embedded clock tree."""
+
+    node_id: int
+    kind: str
+    location: Optional[Point] = None
+    parent: Optional[int] = None
+    children: List[int] = field(default_factory=list)
+    edge_length: float = 0.0
+    sink_cap: float = 0.0
+    group: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind == SINK
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind == SOURCE
+
+    @property
+    def is_internal(self) -> bool:
+        return self.kind == INTERNAL
+
+
+class ClockTree:
+    """A rooted, embedded clock routing tree.
+
+    The tree is built incrementally by the routers: sinks first, then internal
+    merge nodes bottom-up, and finally a source node adopting the last
+    remaining subtree root.  Locations may be filled in later by the top-down
+    embedding pass; wirelength is always derived from the stored edge lengths
+    (which include snaking), never from the geometry.
+    """
+
+    def __init__(self, technology: Technology = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+        self._nodes: Dict[int, ClockNode] = {}
+        self._next_id = 0
+        self.root_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_sink(
+        self,
+        location: Point,
+        sink_cap: float,
+        group: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Add a sink (leaf) node and return its id."""
+        if sink_cap < 0.0:
+            raise ValueError("sink capacitance must be non-negative")
+        return self._add_node(
+            ClockNode(
+                node_id=self._next_id,
+                kind=SINK,
+                location=location,
+                sink_cap=sink_cap,
+                group=group,
+                name=name,
+            )
+        )
+
+    def add_internal(
+        self,
+        children: List[int],
+        edge_lengths: List[float],
+        location: Optional[Point] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Add an internal merge node adopting ``children`` and return its id.
+
+        ``edge_lengths[i]`` is the wire length from the new node down to
+        ``children[i]``; it is stored on the child.
+        """
+        if len(children) != len(edge_lengths):
+            raise ValueError("children and edge_lengths must have the same length")
+        if not children:
+            raise ValueError("an internal node needs at least one child")
+        node_id = self._add_node(
+            ClockNode(node_id=self._next_id, kind=INTERNAL, location=location, name=name)
+        )
+        for child_id, length in zip(children, edge_lengths):
+            self.attach(node_id, child_id, length)
+        return node_id
+
+    def add_source(
+        self, location: Point, child: int, edge_length: float, name: str = "clk"
+    ) -> int:
+        """Add the clock source driving ``child`` and make it the tree root."""
+        node_id = self._add_node(
+            ClockNode(node_id=self._next_id, kind=SOURCE, location=location, name=name)
+        )
+        self.attach(node_id, child, edge_length)
+        self.root_id = node_id
+        return node_id
+
+    def attach(self, parent_id: int, child_id: int, edge_length: float) -> None:
+        """Connect ``child_id`` under ``parent_id`` with the given wire length."""
+        if edge_length < 0.0:
+            raise ValueError("edge length must be non-negative")
+        parent = self.node(parent_id)
+        child = self.node(child_id)
+        if child.parent is not None:
+            raise ValueError("node %d already has a parent" % child_id)
+        parent.children.append(child_id)
+        child.parent = parent_id
+        child.edge_length = edge_length
+
+    def set_location(self, node_id: int, location: Point) -> None:
+        """Record the embedded location of a node."""
+        self.node(node_id).location = location
+
+    def set_edge_length(self, node_id: int, edge_length: float) -> None:
+        """Update the wire length between ``node_id`` and its parent."""
+        if edge_length < 0.0:
+            raise ValueError("edge length must be non-negative")
+        self.node(node_id).edge_length = edge_length
+
+    def _add_node(self, node: ClockNode) -> int:
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        return node.node_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> ClockNode:
+        """The node with the given id (KeyError when absent)."""
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[ClockNode]:
+        """All nodes, in insertion order."""
+        return iter(self._nodes.values())
+
+    def sinks(self) -> List[ClockNode]:
+        """All sink nodes, in insertion order."""
+        return [n for n in self._nodes.values() if n.is_sink]
+
+    def groups(self) -> List[int]:
+        """Sorted list of distinct sink group ids present in the tree."""
+        return sorted({n.group for n in self.sinks() if n.group is not None})
+
+    def root(self) -> ClockNode:
+        """The root node (the clock source once the tree is finished)."""
+        if self.root_id is None:
+            raise ValueError("the tree has no root yet")
+        return self.node(self.root_id)
+
+    def children_of(self, node_id: int) -> List[ClockNode]:
+        return [self.node(c) for c in self.node(node_id).children]
+
+    def topological_order(self) -> List[int]:
+        """Node ids with every parent preceding its children (root first)."""
+        order: List[int] = []
+        stack = [self.root().node_id]
+        while stack:
+            nid = stack.pop()
+            order.append(nid)
+            stack.extend(reversed(self.node(nid).children))
+        return order
+
+    def reverse_topological_order(self) -> List[int]:
+        """Node ids with every child preceding its parent (leaves first)."""
+        return list(reversed(self.topological_order()))
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """Node ids from ``node_id`` up to (and including) the root."""
+        path = [node_id]
+        current = self.node(node_id)
+        while current.parent is not None:
+            path.append(current.parent)
+            current = self.node(current.parent)
+        return path
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def total_wirelength(self) -> float:
+        """Sum of all edge lengths (snaking included)."""
+        return sum(n.edge_length for n in self._nodes.values() if n.parent is not None)
+
+    def snaking_wirelength(self) -> float:
+        """Total extra wire beyond the Manhattan distance of each embedded edge.
+
+        Requires locations on both endpoints of every edge; edges without
+        locations contribute zero.
+        """
+        extra = 0.0
+        for node in self._nodes.values():
+            if node.parent is None or node.location is None:
+                continue
+            parent = self.node(node.parent)
+            if parent.location is None:
+                continue
+            extra += max(0.0, node.edge_length - node.location.distance_to(parent.location))
+        return extra
+
+    def depth(self) -> int:
+        """Number of edges on the longest root-to-leaf path."""
+        depths = {self.root().node_id: 0}
+        deepest = 0
+        for nid in self.topological_order():
+            d = depths[nid]
+            deepest = max(deepest, d)
+            for child in self.node(nid).children:
+                depths[child] = d + 1
+        return deepest
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """The tree as a ``networkx.DiGraph`` (edges point from parent to child)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self._nodes.values():
+            graph.add_node(
+                node.node_id,
+                kind=node.kind,
+                group=node.group,
+                sink_cap=node.sink_cap,
+                location=None if node.location is None else (node.location.x, node.location.y),
+            )
+        for node in self._nodes.values():
+            if node.parent is not None:
+                graph.add_edge(node.parent, node.node_id, length=node.edge_length)
+        return graph

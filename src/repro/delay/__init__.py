@@ -1,0 +1,39 @@
+"""Elmore delay substrate for clock routing.
+
+The paper (Chapter III) uses the Elmore delay model for all balancing and skew
+decisions; this package provides:
+
+* :class:`Technology` -- unit wire resistance / capacitance and time-unit
+  conversions (the internal time unit is the femtosecond when lengths are in
+  micrometres, resistances in ohms and capacitances in femtofarads).
+* wire-level helpers (:func:`wire_delay`, :func:`wire_capacitance`,
+  :func:`wire_length_for_delay`) used by the merge balancing equations.
+* :func:`elmore_delays` -- Elmore source-to-node delays of an embedded clock
+  tree.
+* :class:`RcTree` -- an independent, networkx-backed RC-tree evaluator used as
+  the verification oracle (it re-derives the same delays through a different
+  code path, standing in for the paper's SPICE cross-check).
+"""
+
+from repro.delay.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.delay.wire import (
+    wire_capacitance,
+    wire_delay,
+    wire_delay_derivative,
+    wire_length_for_delay,
+)
+from repro.delay.elmore import elmore_delays, sink_delays, subtree_capacitances
+from repro.delay.rc_tree import RcTree
+
+__all__ = [
+    "DEFAULT_TECHNOLOGY",
+    "RcTree",
+    "Technology",
+    "elmore_delays",
+    "sink_delays",
+    "subtree_capacitances",
+    "wire_capacitance",
+    "wire_delay",
+    "wire_delay_derivative",
+    "wire_length_for_delay",
+]

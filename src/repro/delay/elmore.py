@@ -1,0 +1,65 @@
+"""Elmore delay evaluation of an embedded clock tree.
+
+These functions are the primary delay engine: a bottom-up pass accumulates
+downstream capacitances and a top-down pass accumulates source-to-node delays,
+both using the stored wire lengths (which include any snaking).  The
+independent :class:`repro.delay.rc_tree.RcTree` oracle re-derives the same
+numbers through an explicit node-by-node RC network and is used to verify this
+module in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.delay.wire import wire_capacitance, wire_delay
+
+__all__ = ["subtree_capacitances", "elmore_delays", "sink_delays"]
+
+
+def subtree_capacitances(tree) -> Dict[int, float]:
+    """Downstream capacitance seen at every node of ``tree``.
+
+    The capacitance at a node is the sum of every sink capacitance below it
+    plus the wire capacitance of every edge below it.  The wire between a node
+    and its parent is *not* included in that node's value (it belongs to the
+    parent's subtree view), matching the usual Elmore bookkeeping.
+    """
+    tech = tree.technology
+    caps: Dict[int, float] = {}
+    for node_id in tree.reverse_topological_order():
+        node = tree.node(node_id)
+        total = node.sink_cap
+        for child_id in node.children:
+            child = tree.node(child_id)
+            total += caps[child_id] + wire_capacitance(child.edge_length, tech)
+        caps[node_id] = total
+    return caps
+
+
+def elmore_delays(tree) -> Dict[int, float]:
+    """Elmore delay from the tree root to every node.
+
+    The delay accumulated over an edge of length ``L`` into a child whose
+    downstream capacitance is ``C`` is ``r L (c L / 2 + C)``; the source
+    resistance (if the technology models one) adds ``R_src * C_total`` to every
+    node identically.
+    """
+    tech = tree.technology
+    caps = subtree_capacitances(tree)
+    root = tree.root()
+    delays: Dict[int, float] = {}
+    source_component = tech.source_resistance * caps[root.node_id]
+    delays[root.node_id] = source_component
+    for node_id in tree.topological_order():
+        base = delays[node_id]
+        for child_id in tree.node(node_id).children:
+            child = tree.node(child_id)
+            delays[child_id] = base + wire_delay(child.edge_length, caps[child_id], tech)
+    return delays
+
+
+def sink_delays(tree) -> Dict[int, float]:
+    """Elmore delay from the root to every sink, keyed by sink node id."""
+    delays = elmore_delays(tree)
+    return {sink.node_id: delays[sink.node_id] for sink in tree.sinks()}

@@ -1,0 +1,146 @@
+"""An explicit RC-tree evaluator used as an independent verification oracle.
+
+The paper cross-checks its Elmore-based skews against SPICE (Chapter III); we
+do not have SPICE, so the closest faithful substitute is an independent
+re-derivation of the delays from first principles: each clock-tree edge is
+expanded into a chain of lumped RC segments (a discretised distributed line),
+the whole network is stored as a ``networkx`` graph, and the Elmore delay of
+every node is computed as the classic sum ``sum_k R_k * C_downstream(k)`` over
+the resistors on the source-to-node path.
+
+For the Elmore metric the discretisation is exact for any segment count, so
+the oracle must agree with :mod:`repro.delay.elmore` to numerical precision --
+which is exactly what the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+
+from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
+
+__all__ = ["RcTree"]
+
+
+class RcTree:
+    """A lumped RC tree built node by node.
+
+    Nodes are identified by arbitrary hashable keys.  Each node carries a
+    grounded capacitance; each edge carries a resistance.  The tree is rooted
+    at the driver node, which may also have a source resistance in front of it.
+    """
+
+    def __init__(self, root, technology: Technology = DEFAULT_TECHNOLOGY) -> None:
+        self._graph = nx.DiGraph()
+        self._root = root
+        self._technology = technology
+        self._graph.add_node(root, cap=0.0)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node, parent, resistance: float, cap: float = 0.0) -> None:
+        """Attach ``node`` below ``parent`` through ``resistance`` ohms."""
+        if node in self._graph:
+            raise ValueError("node %r already exists" % (node,))
+        if parent not in self._graph:
+            raise ValueError("parent %r does not exist" % (parent,))
+        if resistance < 0.0 or cap < 0.0:
+            raise ValueError("resistance and capacitance must be non-negative")
+        self._graph.add_node(node, cap=cap)
+        self._graph.add_edge(parent, node, resistance=resistance)
+
+    def add_cap(self, node, cap: float) -> None:
+        """Add grounded capacitance to an existing node."""
+        if cap < 0.0:
+            raise ValueError("capacitance must be non-negative")
+        self._graph.nodes[node]["cap"] += cap
+
+    def add_wire(self, node, parent, length: float, segments: int = 4) -> None:
+        """Attach ``node`` below ``parent`` through a wire of ``length`` micrometres.
+
+        The wire is discretised into ``segments`` lumped RC sections; the final
+        section lands on ``node`` itself so that the caller can then add the
+        node's own load capacitance with :meth:`add_cap`.
+        """
+        if segments < 1:
+            raise ValueError("a wire needs at least one segment")
+        if length < 0.0:
+            raise ValueError("wire length must be non-negative")
+        tech = self._technology
+        seg_len = length / segments
+        seg_res = tech.unit_resistance * seg_len
+        seg_cap = tech.unit_capacitance * seg_len
+        previous = parent
+        for index in range(segments):
+            current = node if index == segments - 1 else ("__wire__", node, index)
+            self.add_node(current, previous, seg_res, cap=0.0)
+            # Pi model: half of the segment capacitance at each end.
+            self.add_cap(previous, seg_cap / 2.0)
+            self.add_cap(current, seg_cap / 2.0)
+            previous = current
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def total_capacitance(self) -> float:
+        """Sum of every grounded capacitance in the network."""
+        return sum(data["cap"] for _, data in self._graph.nodes(data=True))
+
+    def downstream_capacitances(self) -> Dict[object, float]:
+        """Capacitance of the subtree rooted at every node (node cap included)."""
+        caps: Dict[object, float] = {}
+        for node in reversed(list(nx.topological_sort(self._graph))):
+            total = self._graph.nodes[node]["cap"]
+            for child in self._graph.successors(node):
+                total += caps[child]
+            caps[node] = total
+        return caps
+
+    def elmore_delays(self) -> Dict[object, float]:
+        """Elmore delay from the driver to every node of the network."""
+        caps = self.downstream_capacitances()
+        delays: Dict[object, float] = {}
+        source_term = self._technology.source_resistance * caps[self._root]
+        delays[self._root] = source_term
+        for node in nx.topological_sort(self._graph):
+            if node == self._root:
+                continue
+            (parent,) = self._graph.predecessors(node)
+            resistance = self._graph.edges[parent, node]["resistance"]
+            delays[node] = delays[parent] + resistance * caps[node]
+        return delays
+
+    def delay_to(self, node) -> float:
+        """Elmore delay from the driver to a single node."""
+        return self.elmore_delays()[node]
+
+    # ------------------------------------------------------------------
+    # Conversion from an embedded clock tree
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_clock_tree(cls, tree, segments_per_edge: int = 4) -> "RcTree":
+        """Expand an embedded :class:`~repro.cts.tree.ClockTree` into an RC network.
+
+        Sink capacitances become grounded caps on the corresponding leaf nodes;
+        each edge becomes a discretised distributed line.  Node keys reuse the
+        clock-tree node ids so that delays can be compared directly.
+        """
+        root = tree.root()
+        rc = cls(root.node_id, technology=tree.technology)
+        rc.add_cap(root.node_id, root.sink_cap)
+        for node_id in tree.topological_order():
+            for child in tree.children_of(node_id):
+                rc.add_wire(child.node_id, node_id, child.edge_length, segments_per_edge)
+                rc.add_cap(child.node_id, child.sink_cap)
+        return rc
+
+    def graph(self) -> nx.DiGraph:
+        """The underlying directed graph (parents point to children)."""
+        return self._graph
+
+    @property
+    def root(self):
+        return self._root

@@ -1,0 +1,86 @@
+"""Interconnect technology parameters.
+
+The classic r1-r5 clock benchmarks (Tsay 1991; Cong et al. 1998), which the
+paper evaluates on, use a per-unit wire resistance of 0.003 ohm/um and a
+per-unit wire capacitance of 0.02 fF/um.  With lengths in micrometres,
+resistances in ohms and capacitances in femtofarads the product ohm x fF is
+exactly one femtosecond, so all delays inside the library are expressed in
+femtoseconds and the paper's 10 ps skew bound is 10 000 internal units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Technology", "DEFAULT_TECHNOLOGY"]
+
+#: Femtoseconds per picosecond, the conversion between internal time units and
+#: the picoseconds used in the paper's tables.
+_FS_PER_PS = 1000.0
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Unit interconnect parameters for Elmore delay evaluation.
+
+    Attributes:
+        unit_resistance: wire resistance per unit length (ohm / um).
+        unit_capacitance: wire capacitance per unit length (fF / um).
+        source_resistance: optional driver output resistance (ohm).  It adds a
+            delay component common to every sink and therefore never affects
+            skew, but it is modelled so that absolute delays are realistic.
+        name: a short human-readable identifier.
+    """
+
+    unit_resistance: float = 0.003
+    unit_capacitance: float = 0.02
+    source_resistance: float = 0.0
+    name: str = "r-benchmark"
+
+    def __post_init__(self) -> None:
+        if self.unit_resistance <= 0.0:
+            raise ValueError("unit_resistance must be positive")
+        if self.unit_capacitance <= 0.0:
+            raise ValueError("unit_capacitance must be positive")
+        if self.source_resistance < 0.0:
+            raise ValueError("source_resistance must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Time-unit conversions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ps_to_internal(picoseconds: float) -> float:
+        """Convert picoseconds into internal time units (femtoseconds)."""
+        return picoseconds * _FS_PER_PS
+
+    @staticmethod
+    def internal_to_ps(internal: float) -> float:
+        """Convert internal time units (femtoseconds) into picoseconds."""
+        return internal / _FS_PER_PS
+
+    # ------------------------------------------------------------------
+    # Convenience presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def r_benchmark(cls) -> "Technology":
+        """The parameters used by the r1-r5 benchmark suite (and this paper)."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, resistance_scale: float, capacitance_scale: float) -> "Technology":
+        """A technology with the default parameters scaled by the given factors.
+
+        Useful for sensitivity studies; scaling both factors equally scales all
+        delays without changing any routing decision.
+        """
+        base = cls()
+        return cls(
+            unit_resistance=base.unit_resistance * resistance_scale,
+            unit_capacitance=base.unit_capacitance * capacitance_scale,
+            source_resistance=base.source_resistance,
+            name="%s-scaled-r%.3g-c%.3g" % (base.name, resistance_scale, capacitance_scale),
+        )
+
+
+#: The technology every example, test and benchmark uses unless it says otherwise.
+DEFAULT_TECHNOLOGY = Technology.r_benchmark()

@@ -1,0 +1,26 @@
+"""Reproductions of the paper's evaluation artefacts.
+
+* :mod:`repro.experiments.table1` -- Table I: clustered sink groups.
+* :mod:`repro.experiments.table2` -- Table II: intermingled sink groups.
+* :mod:`repro.experiments.figure1` -- Figure 1: zero-skew vs bounded-skew on a
+  small example.
+* :mod:`repro.experiments.figure2` -- Figure 2: per-group-separate construction
+  vs cross-group merging.
+* :mod:`repro.experiments.runner` -- the shared experiment harness.
+"""
+
+from repro.experiments.runner import ExperimentConfig, compare_on_instance, run_router
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+
+__all__ = [
+    "ExperimentConfig",
+    "compare_on_instance",
+    "run_figure1",
+    "run_figure2",
+    "run_router",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,93 @@
+"""Figure 2: per-group-separate construction vs cross-group merging.
+
+The paper's Figure 2 (and the surrounding Observation chapter) motivates the
+whole algorithm: when sink groups are intermingled, building one tree per
+group and stitching the trees together overlaps wire, while letting sinks from
+different groups merge removes the overlap -- "the wirelength can be reduced
+up to 1/3 of its original wirelength".
+
+The reproduction builds a small intermingled two-group instance, routes it
+
+* the naive way: one zero-skew tree per group, each connected to the source
+  separately (the "stitching" of the previous work), and
+* the AST-DME way: one tree with cross-group merges allowed,
+
+and reports both wirelengths.  The shape to reproduce is a clear reduction for
+the cross-group tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuits.instance import ClockInstance, Sink
+from repro.core.ast_dme import AstDme, AstDmeConfig
+from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.geometry.point import Point
+
+__all__ = ["Figure2Result", "figure2_instance", "run_figure2"]
+
+
+@dataclass
+class Figure2Result:
+    """Wirelength of the separate-trees and cross-group constructions."""
+
+    separate_wirelength: float
+    merged_wirelength: float
+
+    @property
+    def reduction_pct(self) -> float:
+        """Percentage of wire saved by allowing cross-group merges."""
+        if self.separate_wirelength <= 0.0:
+            return 0.0
+        return (self.separate_wirelength - self.merged_wirelength) / self.separate_wirelength * 100.0
+
+
+def figure2_instance(technology: Technology = DEFAULT_TECHNOLOGY) -> ClockInstance:
+    """Two interleaved sink groups along a line, as in the paper's Figure 2.
+
+    Group 0 (the "rectangles") and group 1 (the "circles") alternate along the
+    x axis, so a per-group construction has to span the whole row twice.
+    """
+    spacing = 2000.0
+    sinks = []
+    for index in range(8):
+        group = index % 2
+        sinks.append(
+            Sink(
+                sink_id=index,
+                location=Point(index * spacing, 0.0 if group == 0 else 600.0),
+                cap=35.0,
+                group=group,
+            )
+        )
+    return ClockInstance(
+        name="figure2",
+        sinks=tuple(sinks),
+        source=Point(7.0 * spacing / 2.0, 5000.0),
+        technology=technology,
+    )
+
+
+def run_figure2(
+    bound_ps: float = 10.0, instance: Optional[ClockInstance] = None
+) -> Figure2Result:
+    """Compare the separate-trees construction against AST-DME."""
+    instance = instance or figure2_instance()
+    config = AstDmeConfig(skew_bound_ps=bound_ps, multi_merge=False)
+
+    # Naive construction: route every group separately (each group is its own
+    # conventional bounded-skew problem) and connect each tree to the source.
+    separate_total = 0.0
+    for group in instance.groups():
+        members = [s.sink_id for s in instance.sinks_in_group(group)]
+        sub_instance = instance.subset(members, name="%s-group-%d" % (instance.name, group))
+        result = AstDme(config).route(sub_instance, single_group=True)
+        separate_total += result.wirelength
+
+    merged_result = AstDme(config).route(instance)
+    return Figure2Result(
+        separate_wirelength=separate_total,
+        merged_wirelength=merged_result.wirelength,
+    )

@@ -1,0 +1,117 @@
+"""Shared harness for the table experiments.
+
+The paper's tables compare, per benchmark circuit and group count, the
+EXT-BST baseline (a single global 10 ps bound) against AST-DME (a 10 ps bound
+inside each group, nothing across groups).  ``sweep_circuit`` produces exactly
+that block of rows for one circuit and one grouping generator; Tables I and II
+only differ in the generator they pass in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import TableRow
+from repro.analysis.skew import skew_report
+from repro.analysis.wirelength import reduction_percent
+from repro.circuits.instance import ClockInstance
+from repro.core.ast_dme import AstDme, AstDmeConfig, RoutingResult
+from repro.cts.bst import ExtBst
+
+__all__ = ["ExperimentConfig", "run_router", "compare_on_instance", "sweep_circuit"]
+
+#: A grouping generator: (single-group instance, number of groups) -> grouped instance.
+GroupingFn = Callable[[ClockInstance, int], ClockInstance]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by the table experiments."""
+
+    group_counts: Sequence[int] = (4, 6, 8, 10)
+    skew_bound_ps: float = 10.0
+    router_config: AstDmeConfig = AstDmeConfig()
+
+    def ast_config(self) -> AstDmeConfig:
+        """The AST-DME configuration with this experiment's skew bound."""
+        base = self.router_config
+        return AstDmeConfig(
+            skew_bound_ps=self.skew_bound_ps,
+            multi_merge=base.multi_merge,
+            merge_fraction=base.merge_fraction,
+            delay_target_weight=base.delay_target_weight,
+            neighbor_candidates=base.neighbor_candidates,
+            allow_snaking=base.allow_snaking,
+        )
+
+
+def run_router(instance: ClockInstance, router) -> Tuple[RoutingResult, TableRow]:
+    """Route ``instance`` with ``router`` and summarise the result as a row.
+
+    ``router`` is anything with a ``route(instance)`` method (AstDme, ExtBst,
+    GreedyDme).  The reduction column is left empty; the caller fills it in
+    once the baseline of the block is known.
+    """
+    result = router.route(instance)
+    report = skew_report(result.tree)
+    row = TableRow(
+        circuit=instance.name,
+        num_sinks=instance.num_sinks,
+        num_groups=instance.num_groups,
+        algorithm=type(router).__name__.replace("AstDme", "AST-DME")
+        .replace("ExtBst", "EXT-BST")
+        .replace("GreedyDme", "greedy-DME"),
+        wirelength=result.wirelength,
+        reduction_pct=None,
+        max_skew_ps=report.global_skew_ps,
+        intra_skew_ps=report.max_intra_group_skew_ps,
+        cpu_seconds=result.elapsed_seconds,
+    )
+    return result, row
+
+
+def compare_on_instance(
+    instance: ClockInstance,
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[TableRow, TableRow]:
+    """Route one grouped instance with both EXT-BST and AST-DME.
+
+    Returns ``(baseline_row, ast_row)`` with the AST row's reduction filled in
+    relative to the baseline.
+    """
+    config = config or ExperimentConfig()
+    baseline_router = ExtBst(skew_bound_ps=config.skew_bound_ps, config=config.router_config)
+    ast_router = AstDme(config.ast_config())
+    _, baseline_row = run_router(instance, baseline_router)
+    _, ast_row = run_router(instance, ast_router)
+    ast_row.reduction_pct = reduction_percent(baseline_row.wirelength, ast_row.wirelength)
+    return baseline_row, ast_row
+
+
+def sweep_circuit(
+    base_instance: ClockInstance,
+    grouping: GroupingFn,
+    config: Optional[ExperimentConfig] = None,
+) -> List[TableRow]:
+    """Produce one circuit's block of a Table I / Table II style comparison.
+
+    The first row is the EXT-BST baseline on the ungrouped circuit (the
+    paper's ``#groups = 1`` row); subsequent rows are AST-DME on the grouped
+    variants produced by ``grouping`` for each configured group count, with
+    reductions measured against that single baseline.
+    """
+    config = config or ExperimentConfig()
+    baseline_router = ExtBst(skew_bound_ps=config.skew_bound_ps, config=config.router_config)
+    _, baseline_row = run_router(base_instance.with_single_group(), baseline_router)
+    baseline_row.circuit = base_instance.name
+    rows = [baseline_row]
+
+    ast_router = AstDme(config.ast_config())
+    for num_groups in config.group_counts:
+        grouped = grouping(base_instance, num_groups)
+        _, row = run_router(grouped, ast_router)
+        row.circuit = base_instance.name
+        row.reduction_pct = reduction_percent(baseline_row.wirelength, row.wirelength)
+        rows.append(row)
+    return rows

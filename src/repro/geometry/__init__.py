@@ -1,0 +1,50 @@
+"""Manhattan-plane geometry substrate for clock routing.
+
+Clock routing algorithms in this package work in the rectilinear (Manhattan)
+plane.  The central trick, inherited from the DME / BST literature, is the 45
+degree rotation ``u = x + y``, ``v = x - y``: Manhattan distance in the
+original plane becomes Chebyshev (L-infinity) distance in the rotated plane,
+and every placement locus the algorithms manipulate (points, Manhattan arcs,
+tilted rectangular regions) becomes an axis-aligned rectangle there.
+
+Public classes and helpers:
+
+* :class:`Point` -- immutable 2-D point with Manhattan helpers.
+* :class:`Trr` -- tilted rectangular region, the universal placement locus.
+* :func:`manhattan_distance`, :func:`to_rotated`, :func:`from_rotated` --
+  metric and coordinate transforms.
+* :func:`arc_from_endpoints`, :func:`arc_endpoints` -- Manhattan arcs as
+  degenerate TRRs.
+* :func:`balance_locus`, :func:`shortest_distance_locus` -- merge loci used by
+  the DME-family routers.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.manhattan import (
+    chebyshev_distance,
+    from_rotated,
+    interval_gap,
+    interval_overlap,
+    manhattan_distance,
+    to_rotated,
+)
+from repro.geometry.trr import Trr
+from repro.geometry.arc import arc_endpoints, arc_from_endpoints, is_manhattan_arc
+from repro.geometry.sdr import balance_locus, merge_locus, shortest_distance_locus
+
+__all__ = [
+    "Point",
+    "Trr",
+    "arc_endpoints",
+    "arc_from_endpoints",
+    "balance_locus",
+    "chebyshev_distance",
+    "from_rotated",
+    "interval_gap",
+    "interval_overlap",
+    "is_manhattan_arc",
+    "manhattan_distance",
+    "merge_locus",
+    "shortest_distance_locus",
+    "to_rotated",
+]

@@ -1,0 +1,61 @@
+"""Manhattan arcs: segments of slope +1 or -1 (including single points).
+
+Manhattan arcs are the merging segments of zero-skew DME.  In rotated
+coordinates they are axis-aligned segments, i.e. degenerate
+:class:`~repro.geometry.trr.Trr` instances, so this module only provides
+conversions between the endpoint and TRR representations plus a predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+__all__ = ["arc_from_endpoints", "arc_endpoints", "is_manhattan_arc"]
+
+_EPS = 1e-9
+
+
+def is_manhattan_arc(p: Point, q: Point, tol: float = _EPS) -> bool:
+    """Whether the segment ``p``-``q`` is a Manhattan arc.
+
+    A Manhattan arc is either a single point or a segment of slope exactly
+    +1 or -1 in the original plane.
+    """
+    dx = q.x - p.x
+    dy = q.y - p.y
+    if abs(dx) <= tol and abs(dy) <= tol:
+        return True
+    return abs(abs(dx) - abs(dy)) <= tol
+
+
+def arc_from_endpoints(p: Point, q: Point, tol: float = _EPS) -> Trr:
+    """Build the TRR representing the Manhattan arc with endpoints ``p`` and ``q``.
+
+    Raises ``ValueError`` when the segment is not a Manhattan arc (its slope is
+    neither +1 nor -1 and it is not a point).
+    """
+    if not is_manhattan_arc(p, q, tol):
+        raise ValueError("segment %r - %r is not a Manhattan arc" % (p, q))
+    return Trr.from_points([p, q])
+
+
+def arc_endpoints(arc: Trr, tol: float = _EPS) -> Tuple[Point, Point]:
+    """Endpoints of a degenerate TRR (a Manhattan arc or a point).
+
+    Raises ``ValueError`` for TRRs with positive area, which have no unique
+    pair of endpoints.
+    """
+    if not arc.is_arc(tol):
+        raise ValueError("TRR %r is not degenerate; it has no endpoints" % (arc,))
+    if arc.width_u <= tol:
+        return (
+            Point.from_rotated(arc.ulo, arc.vlo),
+            Point.from_rotated(arc.ulo, arc.vhi),
+        )
+    return (
+        Point.from_rotated(arc.ulo, arc.vlo),
+        Point.from_rotated(arc.uhi, arc.vlo),
+    )

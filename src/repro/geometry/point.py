@@ -1,0 +1,65 @@
+"""Immutable 2-D points in the Manhattan plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.geometry.manhattan import from_rotated, manhattan_distance, to_rotated
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point ``(x, y)`` in the original (un-rotated) plane.
+
+    Points are immutable and hashable so that they can be used as dictionary
+    keys (e.g. to deduplicate sink locations) and stored on frozen dataclasses.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return manhattan_distance(self.x, self.y, other.x, other.y)
+
+    def rotated(self) -> Tuple[float, float]:
+        """This point in rotated ``(u, v)`` coordinates."""
+        return to_rotated(self.x, self.y)
+
+    @classmethod
+    def from_rotated(cls, u: float, v: float) -> "Point":
+        """Build a point from rotated ``(u, v)`` coordinates."""
+        x, y = from_rotated(u, v)
+        return cls(x, y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point displaced by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The Euclidean midpoint of this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """Whether ``other`` lies within ``tol`` Manhattan distance."""
+        return self.distance_to(other) <= tol
+
+    @staticmethod
+    def bounding_box(points: Iterable["Point"]) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)`` of ``points``.
+
+        Raises ``ValueError`` when ``points`` is empty.
+        """
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding_box of an empty point set is undefined")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def __iter__(self):
+        yield self.x
+        yield self.y

@@ -1,0 +1,71 @@
+"""Merge loci: balance loci and shortest-distance regions.
+
+When two subtrees with placement loci ``A`` and ``B`` (both TRRs) are merged,
+the new subtree root must be placed
+
+* exactly ``ea`` away from ``A`` and ``eb`` away from ``B`` when the merge is
+  delay-balanced (zero / bounded skew), or
+* anywhere on a shortest Manhattan path between ``A`` and ``B`` when the merge
+  is unconstrained (different sink groups, Chapter V.D of the paper).
+
+Both loci are computed with TRR expansion and intersection.  For a balanced
+merge with ``ea + eb == distance(A, B)`` the intersection is a Manhattan arc
+(or a thin region); for the unconstrained case the full shortest-distance
+region is the union of these arcs over every split, which this module exposes
+both exactly-by-split and as a convenient single locus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.trr import Trr
+
+__all__ = ["merge_locus", "balance_locus", "shortest_distance_locus"]
+
+_EPS = 1e-9
+
+
+def merge_locus(a: Trr, b: Trr, ea: float, eb: float) -> Optional[Trr]:
+    """Locus of points at distance <= ``ea`` from ``a`` and <= ``eb`` from ``b``.
+
+    Returns ``None`` when ``ea + eb`` is smaller than the distance between the
+    regions (no legal merge point exists for those edge lengths).
+    """
+    if ea < -_EPS or eb < -_EPS:
+        raise ValueError("edge lengths must be non-negative")
+    return a.expanded(max(ea, 0.0)).intersection(b.expanded(max(eb, 0.0)))
+
+
+def balance_locus(a: Trr, b: Trr, ea: float, eb: float) -> Trr:
+    """Merge locus for a balanced merge; raises if the edge lengths are too short.
+
+    This is :func:`merge_locus` with the additional guarantee requested by the
+    DME-family routers: the caller has already chosen ``ea + eb`` at least as
+    large as the region distance, so the locus must exist.
+    """
+    locus = merge_locus(a, b, ea, eb)
+    if locus is None:
+        raise ValueError(
+            "edge lengths (%.6g, %.6g) cannot bridge regions at distance %.6g"
+            % (ea, eb, a.distance_to(b))
+        )
+    return locus
+
+
+def shortest_distance_locus(a: Trr, b: Trr, split: float = 0.5) -> Trr:
+    """A merge locus lying on a shortest Manhattan path between ``a`` and ``b``.
+
+    ``split`` in ``[0, 1]`` selects which slice of the shortest-distance region
+    is returned: the locus of points at distance ``split * d`` from ``a`` and
+    ``(1 - split) * d`` from ``b`` where ``d`` is the region distance.  Any
+    split yields a locus whose total wire cost to the two regions equals ``d``,
+    which is what the unconstrained (different-group) merges of AST-DME need.
+    """
+    if not 0.0 <= split <= 1.0:
+        raise ValueError("split must lie in [0, 1]")
+    d = a.distance_to(b)
+    locus = merge_locus(a, b, split * d, (1.0 - split) * d)
+    if locus is None:  # pragma: no cover - defensive; cannot happen for valid TRRs
+        raise RuntimeError("shortest-distance locus unexpectedly empty")
+    return locus

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generator import random_instance
+from repro.circuits.instance import ClockInstance, Sink
+from repro.delay.technology import Technology
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def tech() -> Technology:
+    """The default r-benchmark technology."""
+    return Technology.r_benchmark()
+
+
+@pytest.fixture
+def tiny_instance() -> ClockInstance:
+    """Four sinks in two groups, small coordinates, hand-checkable."""
+    sinks = (
+        Sink(sink_id=0, location=Point(0.0, 0.0), cap=30.0, group=0),
+        Sink(sink_id=1, location=Point(1000.0, 0.0), cap=50.0, group=1),
+        Sink(sink_id=2, location=Point(0.0, 1200.0), cap=40.0, group=0),
+        Sink(sink_id=3, location=Point(1000.0, 1200.0), cap=60.0, group=1),
+    )
+    return ClockInstance(name="tiny", sinks=sinks, source=Point(500.0, 600.0))
+
+
+@pytest.fixture
+def small_instance() -> ClockInstance:
+    """A 40-sink random instance with 4 intermingled groups (fixed seed)."""
+    return random_instance(
+        "small", num_sinks=40, seed=11, layout_size=20_000.0, num_groups=4
+    )
+
+
+@pytest.fixture
+def medium_instance() -> ClockInstance:
+    """A 120-sink random instance, single group (fixed seed)."""
+    return random_instance("medium", num_sinks=120, seed=23, layout_size=50_000.0)

@@ -1,0 +1,147 @@
+"""Tests for the analysis subsystem (skew, wirelength, validation, reporting)."""
+
+import pytest
+
+from repro.analysis.report import TableRow, format_table, rows_to_csv
+from repro.analysis.skew import skew_report
+from repro.analysis.validate import validate_tree
+from repro.analysis.wirelength import reduction_percent, wirelength_report
+from repro.core.ast_dme import AstDme, AstDmeConfig
+from repro.cts.tree import ClockTree
+from repro.delay.technology import Technology
+from repro.geometry.point import Point
+
+
+def build_skewed_tree():
+    """A small tree with a known skew between its two groups."""
+    tree = ClockTree()
+    s0 = tree.add_sink(Point(0.0, 0.0), 50.0, group=0)
+    s1 = tree.add_sink(Point(2000.0, 0.0), 50.0, group=1)
+    m0 = tree.add_internal([s0, s1], [500.0, 1500.0], location=Point(500.0, 0.0))
+    tree.add_source(Point(500.0, 100.0), m0, 100.0)
+    return tree, s0, s1
+
+
+class TestSkewReport:
+    def test_global_skew_matches_delay_difference(self):
+        tree, s0, s1 = build_skewed_tree()
+        from repro.delay.elmore import sink_delays
+
+        delays = sink_delays(tree)
+        report = skew_report(tree)
+        assert report.global_skew == pytest.approx(abs(delays[s0] - delays[s1]))
+        assert report.max_delay == pytest.approx(max(delays.values()))
+        assert report.min_delay == pytest.approx(min(delays.values()))
+
+    def test_per_group_skew_zero_for_singleton_groups(self):
+        tree, _, _ = build_skewed_tree()
+        report = skew_report(tree)
+        assert report.per_group_skew == {0: 0.0, 1: 0.0}
+        assert report.max_intra_group_skew == 0.0
+
+    def test_inter_group_offset_sign(self):
+        tree, _, _ = build_skewed_tree()
+        report = skew_report(tree)
+        # Group 1 hangs on the longer wire, so it is slower than group 0.
+        assert report.inter_group_offset(1, 0) > 0.0
+        assert report.inter_group_offset(0, 1) == pytest.approx(-report.inter_group_offset(1, 0))
+
+    def test_satisfies_intra_bound(self):
+        tree, _, _ = build_skewed_tree()
+        report = skew_report(tree)
+        assert report.satisfies_intra_bound(0.0)
+
+    def test_ps_conversions(self):
+        tree, _, _ = build_skewed_tree()
+        report = skew_report(tree)
+        assert report.global_skew_ps == pytest.approx(Technology.internal_to_ps(report.global_skew))
+        assert report.group_skew_ps(0) == 0.0
+
+
+class TestWirelengthReport:
+    def test_totals(self):
+        tree, _, _ = build_skewed_tree()
+        report = wirelength_report(tree)
+        assert report.total == pytest.approx(2100.0)
+        assert report.num_edges == 3
+        assert report.source_connection == pytest.approx(100.0)
+        assert report.straight + report.snaking == pytest.approx(report.total)
+
+    def test_reduction_percent(self):
+        assert reduction_percent(100.0, 90.0) == pytest.approx(10.0)
+        assert reduction_percent(100.0, 110.0) == pytest.approx(-10.0)
+        with pytest.raises(ValueError):
+            reduction_percent(0.0, 1.0)
+
+
+class TestValidation:
+    def test_clean_tree_passes(self, small_instance):
+        result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(small_instance)
+        assert validate_tree(result.tree, small_instance) == []
+
+    def test_detects_missing_sink(self, small_instance):
+        result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(small_instance)
+        bigger = small_instance.with_groups(
+            {s.sink_id: s.group for s in small_instance.sinks}
+        )
+        from dataclasses import replace
+
+        from repro.circuits.instance import Sink
+
+        extra = replace(
+            bigger,
+            sinks=bigger.sinks + (Sink(999, Point(1.0, 1.0), 10.0, 0),),
+        )
+        issues = validate_tree(result.tree, extra)
+        assert any(issue.code == "coverage" for issue in issues)
+
+    def test_detects_underbooked_edge(self):
+        tree, s0, _ = build_skewed_tree()
+        tree.set_edge_length(s0, 10.0)  # geometric distance is 500
+        issues = validate_tree(tree)
+        assert any(issue.code == "geometry" for issue in issues)
+
+    def test_detects_unembedded_edge(self):
+        tree, s0, _ = build_skewed_tree()
+        tree.node(s0).location = None
+        issues = validate_tree(tree)
+        assert any(issue.code == "geometry" for issue in issues)
+
+    def test_detects_missing_root(self):
+        tree = ClockTree()
+        tree.add_sink(Point(0, 0), 1.0)
+        issues = validate_tree(tree)
+        assert any(issue.code == "structure" for issue in issues)
+
+
+class TestReportFormatting:
+    def make_rows(self):
+        return [
+            TableRow("r1", 267, 1, "EXT-BST", 1_000_000.0, None, 10.0, 10.0, 1.0),
+            TableRow("r1", 267, 4, "AST-DME", 900_000.0, 10.0, 55.0, 9.5, 1.5),
+        ]
+
+    def test_format_table_contains_all_rows(self):
+        text = format_table(self.make_rows(), title="Table X")
+        assert "Table X" in text
+        assert "EXT-BST" in text and "AST-DME" in text
+        assert "10.00%" in text
+        assert len(text.splitlines()) == 5  # title + header + rule + 2 rows
+
+    def test_reduction_placeholder_for_baseline(self):
+        text = format_table(self.make_rows())
+        baseline_line = [line for line in text.splitlines() if "EXT-BST" in line][0]
+        assert " - " in baseline_line or baseline_line.rstrip().endswith("-") or "-" in baseline_line
+
+    def test_csv_output(self):
+        csv = rows_to_csv(self.make_rows())
+        lines = csv.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("circuit,")
+        assert lines[1].split(",")[3] == "EXT-BST"
+        assert lines[2].split(",")[5] == "10.0000"
+
+    def test_as_tuple_roundtrip(self):
+        row = self.make_rows()[1]
+        assert row.as_tuple()[0] == "r1"
+        assert row.as_tuple()[5] == 10.0

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "r1", "out.txt", "--groups", "4", "--grouping", "clustered"]
+        )
+        assert args.command == "generate"
+        assert args.circuit == "r1"
+        assert args.groups == 4
+
+    def test_table_arguments(self):
+        args = build_parser().parse_args(["table2", "--circuits", "r1", "--groups", "4", "6"])
+        assert args.circuits == ["r1"]
+        assert args.groups == [4, 6]
+
+
+class TestCommands:
+    def test_generate_and_route(self, tmp_path, capsys):
+        path = tmp_path / "r1.inst"
+        assert main(["generate", "r1", str(path), "--groups", "4"]) == 0
+        assert path.exists()
+        assert main(["route", str(path), "--algorithm", "ast-dme", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "wirelength" in out
+        assert "validation     : ok" in out
+
+    def test_route_with_baselines(self, tmp_path, capsys):
+        path = tmp_path / "r1.inst"
+        main(["generate", "r1", str(path)])
+        assert main(["route", str(path), "--algorithm", "greedy-dme"]) == 0
+        assert main(["route", str(path), "--algorithm", "ext-bst"]) == 0
+
+    def test_figure_commands(self, capsys):
+        assert main(["figure1"]) == 0
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "zero-skew tree" in out
+        assert "reduction" in out
+
+    def test_table_command_csv(self, capsys):
+        assert main(["table1", "--circuits", "r1", "--groups", "4", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("circuit,")
+        assert "AST-DME" in out

@@ -1,0 +1,123 @@
+"""Tests for lazy split resolution (repro.core.lazy_sdr)."""
+
+import pytest
+
+from repro.core.lazy_sdr import make_pending, resolution_for_target, resolve_pending
+from repro.core.subtree import Subtree
+from repro.cts.tree import ClockTree
+from repro.delay.technology import Technology
+from repro.delay.wire import wire_delay
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+TECH = Technology.r_benchmark()
+
+
+def build_pending_pair(distance=2000.0):
+    """Two single-sink subtrees from different groups plus their clock tree."""
+    tree = ClockTree(technology=TECH)
+    sink_a = tree.add_sink(Point(0.0, 0.0), 40.0, group=0)
+    sink_b = tree.add_sink(Point(distance, 0.0), 40.0, group=1)
+    sub_a = Subtree.for_sink(sink_a, Trr.from_point(Point(0.0, 0.0)), 40.0, group=0)
+    sub_b = Subtree.for_sink(sink_b, Trr.from_point(Point(distance, 0.0)), 40.0, group=1)
+    merge = tree.add_internal([sink_a, sink_b], [distance / 2.0, distance / 2.0])
+    merged = Subtree(
+        node_id=merge,
+        locus=Trr.from_point(Point(distance / 2.0, 0.0)),
+        cap=80.0 + 0.02 * distance,
+        delays={
+            0: (wire_delay(distance / 2.0, 40.0, TECH),) * 2,
+            1: (wire_delay(distance / 2.0, 40.0, TECH),) * 2,
+        },
+        num_sinks=2,
+    )
+    merged.pending = make_pending(sub_a, sub_b, distance, balance_split=distance / 2.0)
+    return tree, merged, sink_a, sink_b
+
+
+class TestPendingSplit:
+    def test_locus_at_split_touches_both_sides(self):
+        _, merged, _, _ = build_pending_pair()
+        pending = merged.pending
+        near_a = pending.locus_at(0.0)
+        near_b = pending.locus_at(pending.distance)
+        assert pending.locus_a.distance_to(near_a) == pytest.approx(0.0, abs=1e-6)
+        assert pending.locus_b.distance_to(near_b) == pytest.approx(0.0, abs=1e-6)
+
+    def test_delays_at_split_shift_sides_oppositely(self):
+        _, merged, _, _ = build_pending_pair()
+        pending = merged.pending
+        near_a = pending.delays_at(0.0, TECH)
+        near_b = pending.delays_at(pending.distance, TECH)
+        # With the merge point on top of side a, side a sees no wire delay.
+        assert near_a[0][0] == pytest.approx(0.0)
+        assert near_a[1][0] > 0.0
+        assert near_b[1][0] == pytest.approx(0.0)
+        assert near_b[0][0] > 0.0
+
+    def test_intra_group_spread_is_split_independent(self):
+        _, merged, _, _ = build_pending_pair()
+        pending = merged.pending
+        for split in (0.0, 500.0, 1333.0, 2000.0):
+            for lo, hi in pending.delays_at(split, TECH).values():
+                assert hi - lo == pytest.approx(0.0, abs=1e-9)
+
+
+class TestResolutionForTarget:
+    def test_moves_towards_target_with_large_budget(self):
+        _, merged, _, _ = build_pending_pair()
+        pending = merged.pending
+        target = Trr.from_point(Point(0.0, 5000.0))  # above side a
+        split = resolution_for_target(pending, target, TECH, max_deviation=float("inf"))
+        assert split < pending.balance_split
+
+    def test_zero_budget_keeps_balance(self):
+        _, merged, _, _ = build_pending_pair()
+        pending = merged.pending
+        target = Trr.from_point(Point(0.0, 5000.0))
+        split = resolution_for_target(pending, target, TECH, max_deviation=0.0)
+        assert split == pytest.approx(pending.balance_split)
+
+    def test_budget_limits_delay_shift(self):
+        _, merged, _, _ = build_pending_pair()
+        pending = merged.pending
+        target = Trr.from_point(Point(0.0, 5000.0))
+        budget = 50.0
+        split = resolution_for_target(pending, target, TECH, max_deviation=budget)
+        shift = abs(
+            wire_delay(split, pending.cap_a, TECH)
+            - wire_delay(pending.balance_split, pending.cap_a, TECH)
+        )
+        assert shift <= budget + 1e-6
+
+    def test_zero_distance_pending(self):
+        _, merged, _, _ = build_pending_pair(distance=0.0)
+        assert resolution_for_target(merged.pending, Trr.from_point(Point(9, 9)), TECH) == 0.0
+
+
+class TestResolvePending:
+    def test_resolution_updates_tree_and_subtree(self):
+        tree, merged, sink_a, sink_b = build_pending_pair()
+        loci = {merged.node_id: merged.locus}
+        target = Trr.from_point(Point(0.0, 3000.0))
+        resolve_pending(merged, target, TECH, tree, loci, max_deviation=float("inf"))
+        assert merged.pending is None
+        # Edge lengths still sum to the corridor length.
+        total = tree.node(sink_a).edge_length + tree.node(sink_b).edge_length
+        assert total == pytest.approx(2000.0)
+        # The recorded locus moved towards the target side.
+        assert loci[merged.node_id].distance_to(target) < Trr.from_point(Point(1000.0, 0.0)).distance_to(target)
+
+    def test_resolving_without_pending_is_a_noop(self):
+        tree, merged, sink_a, _ = build_pending_pair()
+        merged.pending = None
+        before = tree.node(sink_a).edge_length
+        resolve_pending(merged, Trr.from_point(Point(0, 0)), TECH, tree, {})
+        assert tree.node(sink_a).edge_length == before
+
+    def test_none_target_uses_balance_split(self):
+        tree, merged, sink_a, sink_b = build_pending_pair()
+        loci = {}
+        resolve_pending(merged, None, TECH, tree, loci)
+        assert tree.node(sink_a).edge_length == pytest.approx(1000.0)
+        assert tree.node(sink_b).edge_length == pytest.approx(1000.0)

@@ -1,0 +1,111 @@
+"""Tests for merging-order policies and nearest-neighbour pairing."""
+
+import pytest
+
+from repro.core.merging_order import MergeOrderPolicy
+from repro.core.subtree import Subtree
+from repro.cts.nearest_neighbor import select_merge_pairs
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+
+def loci_from_points(points):
+    return [Trr.from_point(Point(x, y)) for x, y in points]
+
+
+class TestSelectMergePairs:
+    def test_fewer_than_two_loci(self):
+        assert len(select_merge_pairs([])) == 0
+        assert len(select_merge_pairs(loci_from_points([(0, 0)]))) == 0
+
+    def test_single_pair_picks_global_nearest(self):
+        loci = loci_from_points([(0, 0), (100, 0), (101, 0), (500, 500)])
+        pairing = select_merge_pairs(loci, max_pairs=1)
+        assert pairing.pairs == [(1, 2)]
+        assert pairing.costs[0] == pytest.approx(1.0)
+
+    def test_pairs_are_disjoint(self):
+        loci = loci_from_points([(i * 10.0, 0.0) for i in range(10)])
+        pairing = select_merge_pairs(loci, max_pairs=5)
+        used = [i for pair in pairing.pairs for i in pair]
+        assert len(used) == len(set(used))
+
+    def test_max_pairs_is_respected(self):
+        loci = loci_from_points([(i * 10.0, 0.0) for i in range(12)])
+        assert len(select_merge_pairs(loci, max_pairs=3)) == 3
+
+    def test_costs_are_sorted(self):
+        loci = loci_from_points([(0, 0), (1, 0), (50, 0), (54, 0), (200, 0), (210, 0)])
+        pairing = select_merge_pairs(loci, max_pairs=3)
+        assert pairing.costs == sorted(pairing.costs)
+
+    def test_bias_changes_selection(self):
+        # Without bias the nearest pair is (0, 1); a strong negative bias on
+        # indices 2 and 3 makes that pair win instead.
+        loci = loci_from_points([(0, 0), (10, 0), (100, 0), (115, 0)])
+        plain = select_merge_pairs(loci, max_pairs=1)
+        biased = select_merge_pairs(loci, max_pairs=1, cost_bias=[0.0, 0.0, -50.0, -50.0])
+        assert plain.pairs == [(0, 1)]
+        assert biased.pairs == [(2, 3)]
+
+    def test_bias_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            select_merge_pairs(loci_from_points([(0, 0), (1, 1)]), cost_bias=[1.0])
+
+    def test_kdtree_path_matches_expectations_on_larger_input(self):
+        # More loci than the exhaustive threshold: the KD-tree path is used.
+        points = [(float(i * 7 % 101), float(i * 13 % 89)) for i in range(80)]
+        pairing = select_merge_pairs(loci_from_points(points), max_pairs=10)
+        assert len(pairing) == 10
+        used = [i for pair in pairing.pairs for i in pair]
+        assert len(used) == len(set(used))
+
+
+class TestMergeOrderPolicy:
+    def make_subtrees(self, coords, delays=None):
+        subtrees = []
+        for index, (x, y) in enumerate(coords):
+            sub = Subtree.for_sink(index, Trr.from_point(Point(x, y)), 20.0, group=0)
+            if delays is not None:
+                sub.delays = {0: (delays[index], delays[index])}
+            subtrees.append(sub)
+        return subtrees
+
+    def test_single_merge_mode_returns_one_pair(self):
+        policy = MergeOrderPolicy(multi_merge=False)
+        subtrees = self.make_subtrees([(0, 0), (5, 0), (100, 0), (104, 0)])
+        assert len(policy.pairs_for_pass(subtrees)) == 1
+
+    def test_multi_merge_returns_several_pairs(self):
+        policy = MergeOrderPolicy(multi_merge=True, merge_fraction=1.0)
+        subtrees = self.make_subtrees([(i * 10.0, 0.0) for i in range(8)])
+        assert len(policy.pairs_for_pass(subtrees)) == 4
+
+    def test_merge_fraction_limits_pairs(self):
+        policy = MergeOrderPolicy(multi_merge=True, merge_fraction=0.5)
+        subtrees = self.make_subtrees([(i * 10.0, 0.0) for i in range(8)])
+        assert len(policy.pairs_for_pass(subtrees)) == 2
+
+    def test_empty_and_singleton_inputs(self):
+        policy = MergeOrderPolicy()
+        assert policy.pairs_for_pass([]) == []
+        assert policy.pairs_for_pass(self.make_subtrees([(0, 0)])) == []
+
+    def test_delay_target_bias_prefers_slow_subtrees(self):
+        # Two tied-distance pairs; the delay-target enhancement should pick
+        # the pair whose subtrees are already slow.
+        coords = [(0.0, 0.0), (10.0, 0.0), (1000.0, 0.0), (1010.0, 0.0)]
+        delays = [0.0, 0.0, 50_000.0, 50_000.0]
+        subtrees = self.make_subtrees(coords, delays)
+        plain = MergeOrderPolicy(multi_merge=False, delay_target_weight=0.0)
+        biased = MergeOrderPolicy(multi_merge=False, delay_target_weight=5.0)
+        assert plain.pairs_for_pass(subtrees)[0] == (0, 1)
+        assert biased.pairs_for_pass(subtrees)[0] == (2, 3)
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError):
+            MergeOrderPolicy(merge_fraction=0.0)
+        with pytest.raises(ValueError):
+            MergeOrderPolicy(delay_target_weight=-1.0)
+        with pytest.raises(ValueError):
+            MergeOrderPolicy(neighbor_candidates=0)

@@ -1,0 +1,56 @@
+"""Tests for the greedy-DME and EXT-BST baseline wrappers."""
+
+import pytest
+
+from repro.analysis.skew import skew_report
+from repro.analysis.validate import validate_result
+from repro.core.ast_dme import AstDmeConfig
+from repro.cts.bst import ExtBst
+from repro.cts.dme import GreedyDme
+
+
+class TestGreedyDme:
+    def test_produces_zero_skew_tree(self, small_instance):
+        result = GreedyDme().route(small_instance)
+        report = skew_report(result.tree)
+        assert report.global_skew == pytest.approx(0.0, abs=1e-3)
+
+    def test_ignores_grouping_for_constraints(self, small_instance):
+        result = GreedyDme().route(small_instance)
+        report = skew_report(result.tree)
+        # Every group trivially satisfies any bound because global skew is 0.
+        assert report.max_intra_group_skew == pytest.approx(0.0, abs=1e-3)
+
+    def test_result_is_structurally_valid(self, small_instance):
+        result = GreedyDme().route(small_instance)
+        assert validate_result(result) == []
+
+    def test_inherits_ordering_configuration(self, small_instance):
+        router = GreedyDme(AstDmeConfig(multi_merge=False, skew_bound_ps=99.0))
+        assert router.config.skew_bound_ps == 0.0  # forced to zero skew
+        assert router.config.multi_merge is False
+        result = router.route(small_instance)
+        assert skew_report(result.tree).global_skew == pytest.approx(0.0, abs=1e-3)
+
+
+class TestExtBst:
+    def test_global_skew_within_bound(self, small_instance):
+        result = ExtBst(skew_bound_ps=10.0).route(small_instance)
+        report = skew_report(result.tree)
+        assert report.global_skew_ps <= 10.0 + 1e-6
+
+    def test_wirelength_not_worse_than_zero_skew(self, medium_instance):
+        bounded = ExtBst(skew_bound_ps=10.0).route(medium_instance)
+        zero = GreedyDme().route(medium_instance)
+        # Relaxing the constraint can only help (up to heuristic noise).
+        assert bounded.wirelength <= zero.wirelength * 1.01
+
+    def test_larger_bound_never_validates_worse(self, small_instance):
+        result = ExtBst(skew_bound_ps=100.0).route(small_instance)
+        report = skew_report(result.tree)
+        assert report.global_skew_ps <= 100.0 + 1e-6
+        assert validate_result(result) == []
+
+    def test_sink_groups_preserved_for_reporting(self, small_instance):
+        result = ExtBst(skew_bound_ps=10.0).route(small_instance)
+        assert sorted({s.group for s in result.tree.sinks()}) == small_instance.groups()

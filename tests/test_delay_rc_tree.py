@@ -1,0 +1,88 @@
+"""Tests for the independent RC-tree oracle (repro.delay.rc_tree)."""
+
+import pytest
+
+from repro.cts.tree import ClockTree
+from repro.delay.elmore import sink_delays
+from repro.delay.rc_tree import RcTree
+from repro.delay.technology import Technology
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def tech():
+    return Technology.r_benchmark()
+
+
+class TestRcTreeConstruction:
+    def test_duplicate_node_raises(self, tech):
+        rc = RcTree("root", tech)
+        rc.add_node("a", "root", 1.0, cap=2.0)
+        with pytest.raises(ValueError):
+            rc.add_node("a", "root", 1.0)
+
+    def test_missing_parent_raises(self, tech):
+        rc = RcTree("root", tech)
+        with pytest.raises(ValueError):
+            rc.add_node("a", "ghost", 1.0)
+
+    def test_negative_values_raise(self, tech):
+        rc = RcTree("root", tech)
+        with pytest.raises(ValueError):
+            rc.add_node("a", "root", -1.0)
+        with pytest.raises(ValueError):
+            rc.add_cap("root", -2.0)
+
+    def test_total_capacitance(self, tech):
+        rc = RcTree("root", tech)
+        rc.add_cap("root", 5.0)
+        rc.add_node("a", "root", 1.0, cap=3.0)
+        assert rc.total_capacitance() == pytest.approx(8.0)
+
+
+class TestRcTreeDelays:
+    def test_single_resistor_delay(self, tech):
+        rc = RcTree("root", tech)
+        rc.add_node("load", "root", resistance=10.0, cap=7.0)
+        assert rc.delay_to("load") == pytest.approx(70.0)
+
+    def test_wire_matches_analytic_formula_for_any_segmentation(self, tech):
+        # Elmore delay of a distributed line is r*L*(c*L/2 + C) regardless of
+        # how many lumped sections approximate it.
+        length, load = 2000.0, 65.0
+        expected = tech.unit_resistance * length * (tech.unit_capacitance * length / 2.0 + load)
+        for segments in (1, 2, 5, 16):
+            rc = RcTree("drv", tech)
+            rc.add_wire("pin", "drv", length, segments=segments)
+            rc.add_cap("pin", load)
+            assert rc.delay_to("pin") == pytest.approx(expected, rel=1e-12)
+
+    def test_invalid_wire_arguments(self, tech):
+        rc = RcTree("drv", tech)
+        with pytest.raises(ValueError):
+            rc.add_wire("pin", "drv", 100.0, segments=0)
+        with pytest.raises(ValueError):
+            rc.add_wire("pin2", "drv", -1.0)
+
+
+class TestOracleAgainstFastEvaluator:
+    def test_from_clock_tree_matches_fast_elmore(self, tech):
+        tree = ClockTree(technology=tech)
+        s0 = tree.add_sink(Point(0.0, 0.0), 33.0, group=0)
+        s1 = tree.add_sink(Point(3000.0, 0.0), 71.0, group=1)
+        s2 = tree.add_sink(Point(1500.0, 2500.0), 12.0, group=0)
+        m0 = tree.add_internal([s0, s1], [1600.0, 1400.0], location=Point(1600.0, 0.0))
+        m1 = tree.add_internal([m0, s2], [900.0, 1700.0], location=Point(1600.0, 900.0))
+        tree.add_source(Point(1600.0, 1300.0), m1, 400.0)
+
+        fast = sink_delays(tree)
+        oracle = RcTree.from_clock_tree(tree, segments_per_edge=3).elmore_delays()
+        for sink_id, fast_value in fast.items():
+            assert oracle[sink_id] == pytest.approx(fast_value, rel=1e-12)
+
+    def test_graph_is_a_tree(self, tech):
+        rc = RcTree("root", tech)
+        rc.add_wire("a", "root", 500.0)
+        rc.add_wire("b", "root", 700.0)
+        graph = rc.graph()
+        assert graph.number_of_edges() == graph.number_of_nodes() - 1

@@ -1,0 +1,36 @@
+"""Tests for repro.delay.technology."""
+
+import pytest
+
+from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
+
+
+class TestTechnology:
+    def test_default_matches_r_benchmark_parameters(self):
+        assert DEFAULT_TECHNOLOGY.unit_resistance == pytest.approx(0.003)
+        assert DEFAULT_TECHNOLOGY.unit_capacitance == pytest.approx(0.02)
+        assert DEFAULT_TECHNOLOGY.source_resistance == 0.0
+
+    def test_r_benchmark_equals_default(self):
+        assert Technology.r_benchmark() == DEFAULT_TECHNOLOGY
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Technology(unit_resistance=0.0)
+        with pytest.raises(ValueError):
+            Technology(unit_capacitance=-1.0)
+        with pytest.raises(ValueError):
+            Technology(source_resistance=-0.1)
+
+    def test_ps_conversion_roundtrip(self):
+        assert Technology.ps_to_internal(10.0) == pytest.approx(10_000.0)
+        assert Technology.internal_to_ps(Technology.ps_to_internal(3.7)) == pytest.approx(3.7)
+
+    def test_scaled_preset(self):
+        scaled = Technology.scaled(2.0, 0.5)
+        assert scaled.unit_resistance == pytest.approx(0.006)
+        assert scaled.unit_capacitance == pytest.approx(0.01)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_TECHNOLOGY.unit_resistance = 1.0

@@ -1,0 +1,111 @@
+"""Tests for the experiment drivers (runner, tables, figures).
+
+These tests use small circuits / reduced sweeps so they stay fast while still
+exercising the full code path that the paper-scale benchmarks use.
+"""
+
+import pytest
+
+from repro.circuits.generator import random_instance
+from repro.circuits.grouping import intermingled_groups
+from repro.core.ast_dme import AstDme, AstDmeConfig
+from repro.experiments.figure1 import figure1_instance, run_figure1
+from repro.experiments.figure2 import figure2_instance, run_figure2
+from repro.experiments.runner import ExperimentConfig, compare_on_instance, run_router, sweep_circuit
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+@pytest.fixture
+def base_instance():
+    return random_instance("mini", num_sinks=60, seed=17, layout_size=40_000.0)
+
+
+class TestRunner:
+    def test_run_router_row_fields(self, base_instance):
+        result, row = run_router(base_instance, AstDme(AstDmeConfig(skew_bound_ps=10.0)))
+        assert row.circuit == "mini"
+        assert row.num_sinks == 60
+        assert row.algorithm == "AST-DME"
+        assert row.wirelength == pytest.approx(result.wirelength)
+        assert row.reduction_pct is None
+        assert row.cpu_seconds > 0.0
+
+    def test_compare_on_instance_fills_reduction(self, base_instance):
+        grouped = intermingled_groups(base_instance, 4, seed=3)
+        baseline_row, ast_row = compare_on_instance(grouped)
+        assert baseline_row.algorithm == "EXT-BST"
+        assert ast_row.algorithm == "AST-DME"
+        assert ast_row.reduction_pct == pytest.approx(
+            (baseline_row.wirelength - ast_row.wirelength) / baseline_row.wirelength * 100.0
+        )
+
+    def test_sweep_circuit_structure(self, base_instance):
+        config = ExperimentConfig(group_counts=(2, 4))
+        rows = sweep_circuit(
+            base_instance, lambda inst, k: intermingled_groups(inst, k, seed=3), config
+        )
+        assert len(rows) == 3
+        assert rows[0].algorithm == "EXT-BST" and rows[0].num_groups == 1
+        assert [r.num_groups for r in rows[1:]] == [2, 4]
+        assert all(r.reduction_pct is not None for r in rows[1:])
+        assert all(r.circuit == "mini" for r in rows)
+
+    def test_intra_group_skew_reported_within_bound(self, base_instance):
+        config = ExperimentConfig(group_counts=(4,), skew_bound_ps=10.0)
+        rows = sweep_circuit(
+            base_instance, lambda inst, k: intermingled_groups(inst, k, seed=3), config
+        )
+        for row in rows:
+            assert row.intra_skew_ps <= 10.0 + 1e-6
+
+
+class TestTables:
+    def test_table1_small_run(self):
+        config = ExperimentConfig(group_counts=(4,))
+        rows = run_table1(circuits=("r1",), config=config)
+        assert len(rows) == 2
+        assert rows[0].algorithm == "EXT-BST"
+        assert rows[1].algorithm == "AST-DME"
+        assert rows[1].intra_skew_ps <= 10.0 + 1e-6
+
+    def test_table2_small_run_shows_reduction(self):
+        config = ExperimentConfig(group_counts=(8,))
+        rows = run_table2(circuits=("r1",), config=config)
+        assert len(rows) == 2
+        # The headline claim: AST-DME beats EXT-BST on intermingled groups.
+        assert rows[1].wirelength < rows[0].wirelength
+        assert rows[1].reduction_pct > 0.0
+        assert rows[1].intra_skew_ps <= 10.0 + 1e-6
+
+    def test_table2_reduction_exceeds_table1(self):
+        config = ExperimentConfig(group_counts=(8,))
+        clustered = run_table1(circuits=("r1",), config=config)
+        intermingled = run_table2(circuits=("r1",), config=config)
+        assert intermingled[1].reduction_pct > clustered[1].reduction_pct
+
+
+class TestFigure1:
+    def test_instance_shape(self):
+        instance = figure1_instance()
+        assert instance.num_sinks == 4
+        assert instance.num_groups == 1
+
+    def test_bounded_skew_saves_wire(self):
+        result = run_figure1(bound_ps=10.0)
+        assert result.bounded_wirelength <= result.zero_skew_wirelength + 1e-6
+        assert result.zero_skew_ps == pytest.approx(0.0, abs=1e-6)
+        assert result.bounded_skew_ps <= result.bound_ps + 1e-6
+
+
+class TestFigure2:
+    def test_instance_is_two_intermingled_groups(self):
+        instance = figure2_instance()
+        assert instance.num_groups == 2
+        sizes = instance.group_sizes()
+        assert sizes[0] == sizes[1]
+
+    def test_cross_group_merging_reduces_wirelength(self):
+        result = run_figure2()
+        assert result.merged_wirelength < result.separate_wirelength
+        assert result.reduction_pct > 10.0

@@ -1,0 +1,61 @@
+"""Tests for repro.geometry.point."""
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestPointBasics:
+    def test_distance_is_manhattan(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 7
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(12.5, -3.25)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.0, 2.0), Point(-4.0, 9.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_points_are_hashable_and_comparable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+        assert Point(1, 2) < Point(2, 1)
+
+    def test_iteration_yields_coordinates(self):
+        assert tuple(Point(3.0, 4.0)) == (3.0, 4.0)
+
+
+class TestPointRotation:
+    def test_rotated_coordinates(self):
+        assert Point(3.0, 1.0).rotated() == (4.0, 2.0)
+
+    def test_from_rotated_roundtrip(self):
+        p = Point(17.0, -5.5)
+        u, v = p.rotated()
+        assert Point.from_rotated(u, v) == p
+
+    def test_rotation_preserves_distance(self):
+        a, b = Point(2.0, 7.0), Point(-1.0, 3.0)
+        ua, va = a.rotated()
+        ub, vb = b.rotated()
+        assert max(abs(ua - ub), abs(va - vb)) == pytest.approx(a.distance_to(b))
+
+
+class TestPointHelpers:
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(4.0, 6.0)) == Point(2.0, 3.0)
+
+    def test_is_close(self):
+        assert Point(1.0, 1.0).is_close(Point(1.0, 1.0 + 1e-12))
+        assert not Point(1.0, 1.0).is_close(Point(1.1, 1.0))
+
+    def test_bounding_box(self):
+        box = Point.bounding_box([Point(1, 5), Point(-2, 3), Point(4, 0)])
+        assert box == (-2, 0, 4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            Point.bounding_box([])

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+radii = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points)
+def test_manhattan_distance_symmetry(a, b):
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points, points)
+def test_manhattan_triangle_inequality(a, b, c):
+    assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(points)
+def test_rotation_roundtrip(p):
+    u, v = p.rotated()
+    q = Point.from_rotated(u, v)
+    assert abs(q.x - p.x) < 1e-6
+    assert abs(q.y - p.y) < 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points)
+def test_trr_distance_matches_point_distance(a, b):
+    assert abs(Trr.from_point(a).distance_to(Trr.from_point(b)) - a.distance_to(b)) < 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, radii, points)
+def test_expansion_contains_points_within_radius(centre, radius, probe):
+    region = Trr.from_point(centre).expanded(radius)
+    distance = centre.distance_to(probe)
+    if distance <= radius - 1e-6:
+        assert region.contains_point(probe, tol=1e-6)
+    elif distance >= radius + 1e-6:
+        assert not region.contains_point(probe, tol=0.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points, radii)
+def test_expansion_reduces_distance_by_at_most_radius(a, b, radius):
+    base = Trr.from_point(a).distance_to(Trr.from_point(b))
+    expanded = Trr.from_point(a).expanded(radius).distance_to(Trr.from_point(b))
+    assert expanded <= base + 1e-6
+    assert expanded >= base - radius - 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points)
+def test_nearest_point_realises_distance_to_point(a, b):
+    region = Trr.from_point(a).expanded(10.0)
+    nearest = region.nearest_point_to(b)
+    assert region.contains_point(nearest, tol=1e-6)
+    assert abs(nearest.distance_to(b) - region.distance_to_point(b)) < 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points, radii, radii)
+def test_nearest_points_realise_region_distance(a, b, ra, rb):
+    ta = Trr.from_point(a).expanded(ra)
+    tb = Trr.from_point(b).expanded(rb)
+    pa, pb = ta.nearest_points(tb)
+    assert ta.contains_point(pa, tol=1e-6)
+    assert tb.contains_point(pb, tol=1e-6)
+    assert abs(pa.distance_to(pb) - ta.distance_to(tb)) < 1e-5
+
+
+@settings(max_examples=150, deadline=None)
+@given(points, points, radii, radii)
+def test_intersection_nonempty_iff_radii_cover_distance(a, b, ra, rb):
+    ta = Trr.from_point(a)
+    tb = Trr.from_point(b)
+    d = ta.distance_to(tb)
+    locus = ta.expanded(ra).intersection(tb.expanded(rb))
+    if ra + rb >= d + 1e-6:
+        assert locus is not None
+    if locus is not None:
+        centre = locus.center()
+        assert ta.distance_to_point(centre) <= ra + 1e-5
+        assert tb.distance_to_point(centre) <= rb + 1e-5

@@ -1,0 +1,110 @@
+"""End-to-end integration tests tying the whole library together."""
+
+import pytest
+
+from repro import (
+    AstDme,
+    AstDmeConfig,
+    ExtBst,
+    GreedyDme,
+    RcTree,
+    clustered_groups,
+    intermingled_groups,
+    make_r_circuit,
+    random_instance,
+    route_edges,
+    skew_report,
+    validate_result,
+    wirelength_report,
+)
+
+
+class TestPublicApi:
+    def test_top_level_exports_exist(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestEndToEndIntermingled:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        instance = intermingled_groups(
+            random_instance("flow", 80, seed=31, layout_size=60_000.0), 6, seed=4
+        )
+        ast = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(instance)
+        baseline = ExtBst(skew_bound_ps=10.0).route(instance)
+        return instance, ast, baseline
+
+    def test_both_trees_valid(self, flow):
+        instance, ast, baseline = flow
+        assert validate_result(ast, intra_bound_ps=10.0) == []
+        assert validate_result(baseline) == []
+
+    def test_ast_beats_baseline_on_intermingled_groups(self, flow):
+        _, ast, baseline = flow
+        assert ast.wirelength < baseline.wirelength
+
+    def test_ast_exploits_inter_group_freedom(self, flow):
+        _, ast, baseline = flow
+        ast_report = skew_report(ast.tree)
+        baseline_report = skew_report(baseline.tree)
+        # The baseline keeps everything within the global bound; AST-DME may
+        # let the global skew drift while keeping every group within bound.
+        assert baseline_report.global_skew_ps <= 10.0 + 1e-6
+        assert ast_report.max_intra_group_skew_ps <= 10.0 + 1e-6
+        assert ast_report.global_skew_ps >= baseline_report.global_skew_ps - 1e-6
+
+    def test_delays_confirmed_by_rc_oracle(self, flow):
+        _, ast, _ = flow
+        from repro.delay.elmore import sink_delays
+
+        fast = sink_delays(ast.tree)
+        oracle = RcTree.from_clock_tree(ast.tree).elmore_delays()
+        for node_id, value in fast.items():
+            assert oracle[node_id] == pytest.approx(value, rel=1e-9)
+
+    def test_routes_realise_booked_wire(self, flow):
+        _, ast, _ = flow
+        routes = route_edges(ast.tree)
+        total = sum(route.length for route in routes.values())
+        assert total == pytest.approx(ast.wirelength, rel=1e-6)
+
+    def test_wirelength_report_consistent(self, flow):
+        _, ast, _ = flow
+        report = wirelength_report(ast.tree)
+        assert report.total == pytest.approx(ast.wirelength)
+        assert 0.0 <= report.snaking_fraction < 1.0
+
+
+class TestEndToEndClustered:
+    def test_clustered_groups_stay_close_to_baseline(self):
+        instance = clustered_groups(
+            random_instance("clu", 80, seed=13, layout_size=60_000.0), 4
+        )
+        ast = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(instance)
+        baseline = ExtBst(skew_bound_ps=10.0).route(instance)
+        # Clustered groups offer little cross-group proximity, so the gain is
+        # small; the key property is that AST-DME is never drastically worse.
+        assert ast.wirelength <= baseline.wirelength * 1.08
+        assert skew_report(ast.tree).max_intra_group_skew_ps <= 10.0 + 1e-6
+
+
+class TestPaperBenchmarkSmoke:
+    def test_r1_full_flow(self):
+        """The smallest paper benchmark end to end (kept under a few seconds)."""
+        base = make_r_circuit("r1")
+        grouped = intermingled_groups(base, 8, seed=7)
+        ast = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(grouped)
+        baseline = ExtBst(skew_bound_ps=10.0).route(base)
+        zero = GreedyDme().route(base)
+        assert ast.wirelength < baseline.wirelength
+        assert baseline.wirelength <= zero.wirelength * 1.001
+        assert validate_result(ast, intra_bound_ps=10.0) == []
+        assert skew_report(zero.tree).global_skew == pytest.approx(0.0, abs=1e-3)
