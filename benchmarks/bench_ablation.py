@@ -13,18 +13,19 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.skew import skew_report
+from repro.api.registry import get_router
 from repro.circuits.grouping import intermingled_groups
 from repro.circuits.r_circuits import make_r_circuit
-from repro.core.ast_dme import AstDme, AstDmeConfig
 
 
 def _instance():
     return intermingled_groups(make_r_circuit("r1"), 8, seed=7)
 
 
-def _route(benchmark, config):
+def _route(benchmark, options):
     instance = _instance()
-    result = benchmark.pedantic(lambda: AstDme(config).route(instance), rounds=1, iterations=1)
+    router = get_router("ast-dme", options)
+    result = benchmark.pedantic(lambda: router.route(instance), rounds=1, iterations=1)
     report = skew_report(result.tree)
     benchmark.extra_info["wirelength"] = result.wirelength
     benchmark.extra_info["intra_skew_ps"] = report.max_intra_group_skew_ps
@@ -35,7 +36,7 @@ def _route(benchmark, config):
 @pytest.mark.benchmark(group="ablation-multi-merge")
 @pytest.mark.parametrize("multi_merge", [True, False], ids=["multi", "single"])
 def test_ablation_multi_merge(benchmark, multi_merge):
-    result, report = _route(benchmark, AstDmeConfig(skew_bound_ps=10.0, multi_merge=multi_merge))
+    result, report = _route(benchmark, {"skew_bound_ps": 10.0, "multi_merge": multi_merge})
     # Alternative merge orders commit offsets in a different sequence and may
     # overshoot the bound slightly (see EXPERIMENTS.md); guard loosely.
     assert report.max_intra_group_skew_ps <= 2.5 * 10.0
@@ -46,7 +47,7 @@ def test_ablation_multi_merge(benchmark, multi_merge):
 @pytest.mark.parametrize("weight", [0.0, 1.0, 3.0], ids=["off", "weight1", "weight3"])
 def test_ablation_delay_target_ordering(benchmark, weight):
     result, report = _route(
-        benchmark, AstDmeConfig(skew_bound_ps=10.0, delay_target_weight=weight)
+        benchmark, {"skew_bound_ps": 10.0, "delay_target_weight": weight}
     )
     assert report.max_intra_group_skew_ps <= 2.5 * 10.0
     assert result.wirelength > 0.0
@@ -56,7 +57,7 @@ def test_ablation_delay_target_ordering(benchmark, weight):
 @pytest.mark.parametrize("budget", [0.0, 0.45, 0.9], ids=["none", "default", "aggressive"])
 def test_ablation_sdr_skew_budget(benchmark, budget):
     result, report = _route(
-        benchmark, AstDmeConfig(skew_bound_ps=10.0, sdr_skew_budget=budget)
+        benchmark, {"skew_bound_ps": 10.0, "sdr_skew_budget": budget}
     )
     benchmark.extra_info["sdr_skew_budget"] = budget
     assert result.wirelength > 0.0

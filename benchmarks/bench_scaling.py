@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api.registry import get_router
 from repro.circuits.generator import random_instance
 from repro.circuits.grouping import intermingled_groups
-from repro.core.ast_dme import AstDme, AstDmeConfig
-from repro.cts.bst import ExtBst
 
 SIZES = (200, 400, 800)
 
@@ -25,7 +24,7 @@ def test_scaling_ast_dme(benchmark, num_sinks):
     instance = intermingled_groups(
         random_instance("scale-%d" % num_sinks, num_sinks, seed=num_sinks), 8, seed=1
     )
-    router = AstDme(AstDmeConfig(skew_bound_ps=10.0))
+    router = get_router("ast-dme", {"skew_bound_ps": 10.0})
     result = benchmark.pedantic(lambda: router.route(instance), rounds=1, iterations=1)
     benchmark.extra_info["wirelength"] = result.wirelength
     assert len(result.tree.sinks()) == num_sinks
@@ -35,7 +34,7 @@ def test_scaling_ast_dme(benchmark, num_sinks):
 @pytest.mark.parametrize("num_sinks", SIZES)
 def test_scaling_ext_bst(benchmark, num_sinks):
     instance = random_instance("scale-%d" % num_sinks, num_sinks, seed=num_sinks)
-    router = ExtBst(skew_bound_ps=10.0)
+    router = get_router("ext-bst", {"skew_bound_ps": 10.0})
     result = benchmark.pedantic(lambda: router.route(instance), rounds=1, iterations=1)
     benchmark.extra_info["wirelength"] = result.wirelength
     assert len(result.tree.sinks()) == num_sinks

@@ -18,14 +18,12 @@ import tempfile
 from pathlib import Path
 
 from repro import (
-    AstDme,
-    AstDmeConfig,
     ClockInstance,
     Point,
     RcTree,
     Sink,
-    SkewConstraints,
     Technology,
+    get_router,
     load_instance,
     route_edges,
     save_instance,
@@ -69,9 +67,17 @@ def main() -> None:
         print("instance file:")
         print("  " + "\n  ".join(path.read_text().splitlines()[:6]) + "\n  ...")
 
-    # Different groups may have different skew requirements.
-    constraints = SkewConstraints.per_group_ps({0: 5.0, 1: 10.0, 2: 20.0}, default_ps=10.0)
-    router = AstDme(AstDmeConfig(skew_bound_ps=10.0, multi_merge=False), constraints=constraints)
+    # Different groups may have different skew requirements; the registry's
+    # ast-dme adapter accepts them as the per_group_bounds_ps shorthand.
+    router = get_router(
+        "ast-dme",
+        {
+            "skew_bound_ps": 10.0,
+            "multi_merge": False,
+            "per_group_bounds_ps": {0: 5.0, 1: 10.0, 2: 20.0},
+            "default_bound_ps": 10.0,
+        },
+    )
     result = router.route(instance)
 
     report = skew_report(result.tree)

@@ -1,51 +1,53 @@
 #!/usr/bin/env python3
-"""Quickstart: route one associative-skew instance and inspect the result.
+"""Quickstart: route one associative-skew instance through the repro.api facade.
 
-Builds the smallest paper benchmark (r1), splits its sinks into 8 intermingled
-groups, routes it with AST-DME, and prints wirelength, skews and the EXT-BST
-comparison -- the whole public API in ~40 lines.
+Describes a run declaratively (instance source + router + analyses) as a
+``RunSpec``, executes it with ``run``, and compares against the EXT-BST
+baseline -- the whole public API in ~40 lines.  ``RunSpec`` and ``RunResult``
+round-trip through JSON, so everything printed here can be cached or shipped
+to another process verbatim.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    AstDme,
-    AstDmeConfig,
-    ExtBst,
-    intermingled_groups,
-    make_r_circuit,
-    reduction_percent,
-    skew_report,
-    validate_result,
-    wirelength_report,
-)
+import json
+
+from repro import InstanceSpec, RouterSpec, RunResult, RunSpec, reduction_percent, run
 
 
 def main() -> None:
-    # 1. Build an instance: the r1 benchmark with 8 intermingled sink groups.
-    instance = intermingled_groups(make_r_circuit("r1"), num_groups=8, seed=7)
-    print("instance   : %s (%d sinks, %d groups)" % (instance.name, instance.num_sinks, instance.num_groups))
+    # 1. Describe the run as data: the r1 benchmark with 8 intermingled sink
+    #    groups, routed by AST-DME with a 10 ps bound inside each group
+    #    (nothing between groups), with full validation.
+    spec = RunSpec(
+        instance=InstanceSpec.from_circuit("r1", groups=8, grouping="intermingled"),
+        router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+        validate=True,
+    )
 
-    # 2. Route it with AST-DME: 10 ps skew bound inside each group, nothing
-    #    between groups.
-    router = AstDme(AstDmeConfig(skew_bound_ps=10.0))
-    result = router.route(instance)
+    # 2. Execute it.
+    result = run(spec)
+    print("instance   : %s (%d sinks, %d groups)"
+          % (result.instance_name, result.num_sinks, result.num_groups))
+    print("wirelength : %.0f um (%.1f%% of it is balancing detour)"
+          % (result.wire.total, 100 * result.wire.snaking_fraction))
+    print("intra skew : %.2f ps (bound 10 ps)" % result.max_intra_group_skew_ps)
+    print("global skew: %.2f ps (unconstrained across groups)" % result.global_skew_ps)
+    print("validation : %s" % ("ok" if result.ok else result.issues))
 
-    # 3. Inspect the tree.
-    wl = wirelength_report(result.tree)
-    skew = skew_report(result.tree)
-    print("wirelength : %.0f um (%.1f%% of it is balancing detour)" % (wl.total, 100 * wl.snaking_fraction))
-    print("intra skew : %.2f ps (bound 10 ps)" % skew.max_intra_group_skew_ps)
-    print("global skew: %.2f ps (unconstrained across groups)" % skew.global_skew_ps)
-
-    # 4. Verify it: structural, geometric and electrical checks.
-    issues = validate_result(result, intra_bound_ps=10.0)
-    print("validation : %s" % ("ok" if not issues else issues))
-
-    # 5. Compare against the conventional answer (EXT-BST, one global bound).
-    baseline = ExtBst(skew_bound_ps=10.0).route(instance)
+    # 3. The same instance through the conventional answer (EXT-BST, one
+    #    global bound) -- only the router name changes.
+    baseline = run(
+        RunSpec(instance=spec.instance, router=RouterSpec("ext-bst", {"skew_bound_ps": 10.0}))
+    )
     print("EXT-BST    : %.0f um" % baseline.wirelength)
     print("reduction  : %.2f%%" % reduction_percent(baseline.wirelength, result.wirelength))
+
+    # 4. Results are plain data: JSON out, JSON back in.
+    payload = json.dumps(result.to_dict())
+    restored = RunResult.from_dict(json.loads(payload))
+    assert restored.wirelength == result.wirelength
+    print("json       : %d bytes, round-trips losslessly" % len(payload))
 
 
 if __name__ == "__main__":

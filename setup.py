@@ -1,10 +1,28 @@
-"""Setuptools shim.
+"""Packaging for the repro library.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that the
-package can be installed editable (``pip install -e .``) in offline
-environments whose setuptools/wheel combination predates PEP 660 support.
+Metadata is kept here (rather than pyproject.toml) so that the package
+installs editable (``pip install -e .``) in offline environments whose
+setuptools/wheel combination predates PEP 660 support.  The ``repro`` console
+script is the CLI entry point (``repro route``, ``repro batch``, ...).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ast-dme",
+    version="1.0.0",
+    description="Associative skew clock routing (AST-DME) reproduction",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ]
+    },
+)

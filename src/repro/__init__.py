@@ -7,14 +7,37 @@ with the substrates it needs (Manhattan geometry, Elmore delay, DME / BST
 baselines), synthetic benchmark circuits, analysis tools and the experiment
 drivers that regenerate the paper's tables and figures.
 
-Quickstart::
+Quickstart -- everything routes through the :mod:`repro.api` facade::
 
-    from repro import AstDme, AstDmeConfig, make_r_circuit, intermingled_groups
-    from repro import skew_report
+    from repro import InstanceSpec, RouterSpec, RunSpec, run
 
-    instance = intermingled_groups(make_r_circuit("r1"), num_groups=8, seed=7)
-    result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(instance)
-    print(result.wirelength, skew_report(result.tree).max_intra_group_skew_ps)
+    spec = RunSpec(
+        instance=InstanceSpec.from_circuit("r1", groups=8),
+        router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+        validate=True,
+    )
+    result = run(spec)
+    print(result.wirelength, result.max_intra_group_skew_ps, result.ok)
+
+Batches of runs execute declaratively (and in parallel) the same way::
+
+    from repro import BatchRunner
+
+    specs = [
+        RunSpec(
+            instance=InstanceSpec.from_circuit("r1", groups=k),
+            router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+        )
+        for k in (4, 6, 8, 10)
+    ]
+    for res in BatchRunner(workers=4).run(specs):
+        print(res.num_groups, res.wirelength)
+
+Routers are looked up in a string-keyed registry (``available_routers()``,
+``get_router``); third-party routers plug in with ``register_router`` -- see
+``docs/api.md``.  The underlying classes (``AstDme``, ``ExtBst``,
+``GreedyDme``) remain available for direct use.  Results round-trip through
+JSON via ``RunResult.to_dict()`` / ``from_dict()``.
 """
 
 from repro.analysis import (
@@ -29,6 +52,20 @@ from repro.analysis import (
     validate_result,
     validate_tree,
     wirelength_report,
+)
+from repro.api import (
+    BatchRunner,
+    InstanceSpec,
+    Router,
+    RouterSpec,
+    RunResult,
+    RunSpec,
+    available_routers,
+    get_router,
+    register_router,
+    run,
+    run_batch,
+    run_safe,
 )
 from repro.circuits import (
     ClockInstance,
@@ -60,6 +97,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AstDme",
     "AstDmeConfig",
+    "BatchRunner",
     "ClockInstance",
     "ClockNode",
     "ClockTree",
@@ -67,9 +105,14 @@ __all__ = [
     "ExtBst",
     "GreedyDme",
     "GroupAssociation",
+    "InstanceSpec",
     "Point",
     "RcTree",
+    "Router",
+    "RouterSpec",
     "RoutingResult",
+    "RunResult",
+    "RunSpec",
     "Sink",
     "SkewConstraints",
     "SkewReport",
@@ -80,19 +123,25 @@ __all__ = [
     "ValidationIssue",
     "WirelengthReport",
     "available_circuits",
+    "available_routers",
     "clustered_groups",
     "elmore_delays",
     "embed_tree",
     "format_table",
+    "get_router",
     "intermingled_groups",
     "load_instance",
     "make_r_circuit",
     "random_instance",
     "reduction_percent",
+    "register_router",
     "route_edges",
     "rows_to_csv",
+    "run",
+    "run_batch",
     "run_figure1",
     "run_figure2",
+    "run_safe",
     "run_table1",
     "run_table2",
     "save_instance",

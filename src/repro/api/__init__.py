@@ -1,0 +1,60 @@
+"""repro.api -- the unified routing facade.
+
+This package is the single entry point for routing work:
+
+* :mod:`repro.api.registry`: the string-keyed **router registry**
+  (``register_router`` / ``get_router`` / ``available_routers``) and the
+  :class:`RouterSpec` that constructs ``ast-dme``, ``ext-bst``,
+  ``greedy-dme`` -- and any plugged-in third-party router -- uniformly from a
+  name plus an options dict;
+* :mod:`repro.api.spec`: the declarative :class:`RunSpec` ->
+  :class:`RunResult` contract, with ``to_dict()`` / ``from_dict()`` JSON
+  round-tripping for caching, diffing and serving;
+* :mod:`repro.api.runner`: :func:`run` / :func:`run_safe` executing one spec;
+* :mod:`repro.api.batch`: the parallel :class:`BatchRunner`
+  (``ProcessPoolExecutor``, deterministic ordering, per-run error capture).
+
+Quickstart::
+
+    from repro.api import InstanceSpec, RouterSpec, RunSpec, run
+
+    spec = RunSpec(
+        instance=InstanceSpec.from_circuit("r1", groups=8),
+        router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+        validate=True,
+    )
+    result = run(spec)
+    print(result.wirelength, result.max_intra_group_skew_ps, result.ok)
+
+See ``docs/api.md`` for the registry extension point.
+"""
+
+from repro.api.batch import BatchRunner, run_batch
+from repro.api.registry import (
+    Router,
+    RouterSpec,
+    available_routers,
+    get_router,
+    register_router,
+    router_description,
+    unregister_router,
+)
+from repro.api.runner import run, run_safe
+from repro.api.spec import InstanceSpec, RunResult, RunSpec
+
+__all__ = [
+    "BatchRunner",
+    "InstanceSpec",
+    "Router",
+    "RouterSpec",
+    "RunResult",
+    "RunSpec",
+    "available_routers",
+    "get_router",
+    "register_router",
+    "router_description",
+    "run",
+    "run_batch",
+    "run_safe",
+    "unregister_router",
+]

@@ -1,0 +1,72 @@
+"""Executing one :class:`RunSpec`: the ``run`` / ``run_safe`` entry points."""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.analysis.skew import skew_report
+from repro.analysis.validate import validate_result
+from repro.analysis.wirelength import wirelength_report
+from repro.api.registry import get_router
+from repro.api.spec import RunResult, RunSpec
+
+__all__ = ["run", "run_safe"]
+
+
+def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
+    """Execute one routing run described by ``spec``.
+
+    Builds the instance, constructs the router through the registry, routes,
+    and bundles skew / wirelength reports, validation issues (when
+    ``spec.validate``) and timings into a :class:`RunResult`.
+
+    Args:
+        spec: the declarative run description.
+        keep_tree: also attach the full ``RoutingResult`` (tree, merge stats,
+            loci) as ``RunResult.routing``.  Off by default so results stay
+            cheap to pickle and serialise.
+    """
+    started = time.perf_counter()
+    instance = spec.instance.build()
+    router = get_router(spec.router)
+    routing = router.route(instance)
+
+    skew = skew_report(routing.tree)
+    wire = wirelength_report(routing.tree)
+    issues = (
+        validate_result(routing, intra_bound_ps=spec.effective_bound_ps())
+        if spec.validate
+        else []
+    )
+    return RunResult(
+        spec=spec,
+        instance_name=instance.name,
+        num_sinks=instance.num_sinks,
+        num_groups=instance.num_groups,
+        num_nodes=sum(1 for _ in routing.tree.nodes()),
+        wirelength=routing.wirelength,
+        skew=skew,
+        wire=wire,
+        issues=issues,
+        route_seconds=routing.elapsed_seconds,
+        total_seconds=time.perf_counter() - started,
+        routing=routing if keep_tree else None,
+    )
+
+
+def run_safe(spec: RunSpec) -> RunResult:
+    """Like :func:`run` but captures exceptions in ``RunResult.error``.
+
+    This is what :class:`~repro.api.batch.BatchRunner` executes per spec so a
+    single bad run cannot abort a batch.
+    """
+    started = time.perf_counter()
+    try:
+        return run(spec)
+    except Exception as exc:  # noqa: BLE001 - per-run capture is the point
+        return RunResult(
+            spec=spec,
+            error="%s: %s\n%s" % (type(exc).__name__, exc, traceback.format_exc()),
+            total_seconds=time.perf_counter() - started,
+        )

@@ -4,10 +4,19 @@ Subcommands::
 
     repro generate  -- generate a benchmark instance file
     repro route     -- route an instance file and print a summary
+    repro batch     -- execute a JSON list of run specs (optionally parallel)
+    repro routers   -- list the routers available in the registry
     repro table1    -- reproduce Table I (clustered sink groups)
     repro table2    -- reproduce Table II (intermingled sink groups)
     repro figure1   -- reproduce Figure 1 (zero vs bounded skew)
     repro figure2   -- reproduce Figure 2 (separate vs cross-group merging)
+
+All routing goes through the :mod:`repro.api` facade: algorithms are looked up
+in the router registry (so plugged-in third-party routers appear in
+``--algorithm`` automatically), ``route --json`` emits the machine-readable
+:class:`~repro.api.spec.RunResult` summary, and ``batch`` executes declarative
+:class:`~repro.api.spec.RunSpec` lists with the parallel
+:class:`~repro.api.batch.BatchRunner`.
 
 All experiment commands accept ``--circuits`` and ``--groups`` so that quick
 subsets can be run during development; the defaults match the paper.
@@ -16,18 +25,17 @@ subsets can be run during development; the defaults match the paper.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.report import format_table, rows_to_csv
-from repro.analysis.skew import skew_report
-from repro.analysis.validate import validate_result
-from repro.circuits.grouping import clustered_groups, intermingled_groups
-from repro.circuits.io import load_instance, save_instance
-from repro.circuits.r_circuits import available_circuits, make_r_circuit
-from repro.core.ast_dme import AstDme, AstDmeConfig
-from repro.cts.bst import ExtBst
-from repro.cts.dme import GreedyDme
+from repro.api.batch import BatchRunner
+from repro.api.registry import RouterSpec, available_routers, router_description
+from repro.api.runner import run
+from repro.api.spec import InstanceSpec, RunResult, RunSpec
+from repro.circuits.io import save_instance
+from repro.circuits.r_circuits import available_circuits
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.runner import ExperimentConfig
@@ -61,11 +69,36 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("instance", help="instance file written by 'repro generate'")
     route.add_argument(
         "--algorithm",
-        choices=("ast-dme", "ext-bst", "greedy-dme"),
+        choices=available_routers(),
         default="ast-dme",
     )
-    route.add_argument("--bound-ps", type=float, default=10.0, help="intra-group skew bound")
+    route.add_argument(
+        "--bound-ps",
+        type=float,
+        default=None,
+        help="intra-group skew bound (default: 10.0; only passed to the router "
+        "when given, so routers without that option still work)",
+    )
     route.add_argument("--validate", action="store_true", help="run full validation")
+    route.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON summary"
+    )
+
+    batch = sub.add_parser(
+        "batch", help="execute a JSON file of run specs through the BatchRunner"
+    )
+    batch.add_argument(
+        "specs",
+        help="JSON file: a list of RunSpec dicts, or an object with a 'runs' list",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: auto)"
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit the full JSON results instead of a table"
+    )
+
+    sub.add_parser("routers", help="list the routers available in the registry")
 
     for name, help_text in (
         ("table1", "reproduce Table I (clustered sink groups)"),
@@ -95,40 +128,100 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    instance = make_r_circuit(args.circuit)
-    if args.groups > 1:
-        if args.grouping == "clustered":
-            instance = clustered_groups(instance, args.groups)
-        else:
-            instance = intermingled_groups(instance, args.groups, seed=args.seed)
+    instance = InstanceSpec.from_circuit(
+        args.circuit, groups=args.groups, grouping=args.grouping, grouping_seed=args.seed
+    ).build()
     save_instance(instance, args.output)
     print("wrote %s (%d sinks, %d groups)" % (args.output, instance.num_sinks, instance.num_groups))
     return 0
 
 
-def _cmd_route(args: argparse.Namespace) -> int:
-    instance = load_instance(args.instance)
-    if args.algorithm == "ast-dme":
-        router = AstDme(AstDmeConfig(skew_bound_ps=args.bound_ps))
-    elif args.algorithm == "ext-bst":
-        router = ExtBst(skew_bound_ps=args.bound_ps)
-    else:
-        router = GreedyDme()
-    result = router.route(instance)
-    report = skew_report(result.tree)
-    print("instance       : %s (%d sinks, %d groups)" % (instance.name, instance.num_sinks, instance.num_groups))
-    print("algorithm      : %s" % args.algorithm)
+def _print_run_result(result: RunResult) -> None:
+    print("instance       : %s (%d sinks, %d groups)"
+          % (result.instance_name, result.num_sinks, result.num_groups))
+    print("algorithm      : %s" % result.spec.router.name)
     print("wirelength     : %.0f" % result.wirelength)
-    print("global skew    : %.1f ps" % report.global_skew_ps)
-    print("intra-group    : %.1f ps (worst group)" % report.max_intra_group_skew_ps)
-    print("cpu            : %.2f s" % result.elapsed_seconds)
+    print("global skew    : %.1f ps" % result.global_skew_ps)
+    print("intra-group    : %.1f ps (worst group)" % result.max_intra_group_skew_ps)
+    print("cpu            : %.2f s" % result.route_seconds)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    # Only forward the bound when the user asked for one: third-party routers
+    # need not understand skew_bound_ps, and the built-ins default to 10 ps
+    # anyway.  Validation uses RunSpec.effective_bound_ps(), which falls back
+    # to the same 10 ps default.
+    options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
+    spec = RunSpec(
+        instance=InstanceSpec.from_file(args.instance),
+        router=RouterSpec(args.algorithm, options),
+        validate=args.validate,
+    )
+    result = run(spec)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    _print_run_result(result)
     if args.validate:
-        issues = validate_result(result, intra_bound_ps=args.bound_ps)
-        if issues:
-            for issue in issues:
+        if result.issues:
+            for issue in result.issues:
                 print("VALIDATION: %s" % issue)
             return 1
         print("validation     : ok")
+    return 0
+
+
+def _load_batch_specs(path: str) -> List[RunSpec]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("runs")
+    if not isinstance(data, list) or not data:
+        raise SystemExit(
+            "batch file must contain a non-empty list of run specs (or {'runs': [...]})"
+        )
+    specs = []
+    for index, entry in enumerate(data):
+        try:
+            specs.append(RunSpec.from_dict(entry))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit("bad run spec at index %d: %s" % (index, exc)) from exc
+    return specs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    specs = _load_batch_specs(args.specs)
+    results = BatchRunner(workers=args.workers).run(specs)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2, sort_keys=True))
+    else:
+        for index, result in enumerate(results):
+            label = result.spec.label or result.instance_name or ("run-%d" % index)
+            if result.error is not None:
+                status = "ERROR %s" % result.error.splitlines()[0]
+            elif result.issues:
+                status = "INVALID (%d issues)" % len(result.issues)
+            else:
+                status = "ok"
+            print(
+                "%-24s %-12s wl %12.0f  intra %6.2f ps  global %8.2f ps  %s"
+                % (
+                    label,
+                    result.spec.router.name,
+                    result.wirelength,
+                    result.max_intra_group_skew_ps,
+                    result.global_skew_ps,
+                    status,
+                )
+            )
+    # Validation failures and per-run errors surface in the exit code so that
+    # batch mode can gate CI jobs.
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_routers(_: argparse.Namespace) -> int:
+    for name in available_routers():
+        print("%-12s %s" % (name, router_description(name)))
     return 0
 
 
@@ -169,6 +262,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "route":
         return _cmd_route(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "routers":
+        return _cmd_routers(args)
     if args.command in ("table1", "table2"):
         return _cmd_table(args, args.command)
     if args.command == "figure1":

@@ -27,17 +27,15 @@ class ExtBst:
     def __init__(
         self, skew_bound_ps: float = 10.0, config: Optional["AstDmeConfig"] = None
     ) -> None:
+        from dataclasses import replace
+
         from repro.core.ast_dme import AstDme, AstDmeConfig
 
         base = config or AstDmeConfig()
-        self.config = AstDmeConfig(
-            skew_bound_ps=skew_bound_ps,
-            multi_merge=base.multi_merge,
-            merge_fraction=base.merge_fraction,
-            delay_target_weight=base.delay_target_weight,
-            neighbor_candidates=base.neighbor_candidates,
-            allow_snaking=True,
-        )
+        # dataclasses.replace keeps every other field (present and future)
+        # instead of copying a hand-maintained list; snaking is required for
+        # the baseline's exactness, so it is always forced on.
+        self.config = replace(base, skew_bound_ps=skew_bound_ps, allow_snaking=True)
         self._engine = AstDme(self.config)
 
     def route(self, instance: "ClockInstance") -> "RoutingResult":

@@ -25,18 +25,14 @@ class GreedyDme:
     """Zero-skew clock router (greedy-DME baseline)."""
 
     def __init__(self, config: Optional["AstDmeConfig"] = None) -> None:
+        from dataclasses import replace
+
         from repro.core.ast_dme import AstDme, AstDmeConfig
 
         base = config or AstDmeConfig()
-        # Zero-skew means a 0 ps bound; everything else is inherited.
-        self.config = AstDmeConfig(
-            skew_bound_ps=0.0,
-            multi_merge=base.multi_merge,
-            merge_fraction=base.merge_fraction,
-            delay_target_weight=base.delay_target_weight,
-            neighbor_candidates=base.neighbor_candidates,
-            allow_snaking=True,
-        )
+        # Zero-skew means a 0 ps bound; everything else is inherited via
+        # dataclasses.replace so no configuration field is silently dropped.
+        self.config = replace(base, skew_bound_ps=0.0, allow_snaking=True)
         self._engine = AstDme(self.config)
 
     def route(self, instance: "ClockInstance") -> "RoutingResult":

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.skew import skew_report
+from repro.api.registry import get_router
 from repro.circuits.instance import ClockInstance, Sink
-from repro.core.ast_dme import AstDme, AstDmeConfig
 from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.geometry.point import Point
 
@@ -64,11 +64,13 @@ def run_figure1(
 ) -> Figure1Result:
     """Route the Figure 1 instance with a zero and a relaxed skew bound."""
     instance = instance or figure1_instance()
-    zero_router = AstDme(AstDmeConfig(skew_bound_ps=0.0, multi_merge=False))
-    bounded_router = AstDme(AstDmeConfig(skew_bound_ps=bound_ps, multi_merge=False))
+    # Both baselines come from the registry: greedy-DME is the zero-skew tree,
+    # EXT-BST the bounded-skew one (each routes with a single global group).
+    zero_router = get_router("greedy-dme", {"multi_merge": False})
+    bounded_router = get_router("ext-bst", {"skew_bound_ps": bound_ps, "multi_merge": False})
 
-    zero_result = zero_router.route(instance, single_group=True)
-    bounded_result = bounded_router.route(instance, single_group=True)
+    zero_result = zero_router.route(instance)
+    bounded_result = bounded_router.route(instance)
     zero_report = skew_report(zero_result.tree)
     bounded_report = skew_report(bounded_result.tree)
     return Figure1Result(

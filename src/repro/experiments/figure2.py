@@ -21,8 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api.registry import get_router
 from repro.circuits.instance import ClockInstance, Sink
-from repro.core.ast_dme import AstDme, AstDmeConfig
 from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.geometry.point import Point
 
@@ -75,18 +75,19 @@ def run_figure2(
 ) -> Figure2Result:
     """Compare the separate-trees construction against AST-DME."""
     instance = instance or figure2_instance()
-    config = AstDmeConfig(skew_bound_ps=bound_ps, multi_merge=False)
+    options = {"skew_bound_ps": bound_ps, "multi_merge": False}
 
     # Naive construction: route every group separately (each group is its own
-    # conventional bounded-skew problem) and connect each tree to the source.
+    # conventional bounded-skew problem, i.e. an EXT-BST run) and connect each
+    # tree to the source.
+    separate_router = get_router("ext-bst", options)
     separate_total = 0.0
     for group in instance.groups():
         members = [s.sink_id for s in instance.sinks_in_group(group)]
         sub_instance = instance.subset(members, name="%s-group-%d" % (instance.name, group))
-        result = AstDme(config).route(sub_instance, single_group=True)
-        separate_total += result.wirelength
+        separate_total += separate_router.route(sub_instance).wirelength
 
-    merged_result = AstDme(config).route(instance)
+    merged_result = get_router("ast-dme", options).route(instance)
     return Figure2Result(
         separate_wirelength=separate_total,
         merged_wirelength=merged_result.wirelength,

@@ -9,15 +9,15 @@ only differ in the generator they pass in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import TableRow
 from repro.analysis.skew import skew_report
 from repro.analysis.wirelength import reduction_percent
+from repro.api.registry import RouterSpec, get_router
 from repro.circuits.instance import ClockInstance
-from repro.core.ast_dme import AstDme, AstDmeConfig, RoutingResult
-from repro.cts.bst import ExtBst
+from repro.core.ast_dme import AstDmeConfig, RoutingResult
 
 __all__ = ["ExperimentConfig", "run_router", "compare_on_instance", "sweep_circuit"]
 
@@ -34,16 +34,21 @@ class ExperimentConfig:
     router_config: AstDmeConfig = AstDmeConfig()
 
     def ast_config(self) -> AstDmeConfig:
-        """The AST-DME configuration with this experiment's skew bound."""
-        base = self.router_config
-        return AstDmeConfig(
-            skew_bound_ps=self.skew_bound_ps,
-            multi_merge=base.multi_merge,
-            merge_fraction=base.merge_fraction,
-            delay_target_weight=base.delay_target_weight,
-            neighbor_candidates=base.neighbor_candidates,
-            allow_snaking=base.allow_snaking,
-        )
+        """The AST-DME configuration with this experiment's skew bound.
+
+        ``dataclasses.replace`` keeps every other ``router_config`` field --
+        including ones added in the future -- instead of the hand-maintained
+        copy that used to silently drop ``sdr_skew_budget``.
+        """
+        return replace(self.router_config, skew_bound_ps=self.skew_bound_ps)
+
+    def ast_spec(self) -> RouterSpec:
+        """The AST-DME router spec of this experiment (registry form)."""
+        return RouterSpec("ast-dme", asdict(self.ast_config()))
+
+    def baseline_spec(self) -> RouterSpec:
+        """The EXT-BST baseline spec: one global bound over all sinks."""
+        return RouterSpec("ext-bst", asdict(self.ast_config()))
 
 
 def run_router(instance: ClockInstance, router) -> Tuple[RoutingResult, TableRow]:
@@ -81,8 +86,8 @@ def compare_on_instance(
     relative to the baseline.
     """
     config = config or ExperimentConfig()
-    baseline_router = ExtBst(skew_bound_ps=config.skew_bound_ps, config=config.router_config)
-    ast_router = AstDme(config.ast_config())
+    baseline_router = get_router(config.baseline_spec())
+    ast_router = get_router(config.ast_spec())
     _, baseline_row = run_router(instance, baseline_router)
     _, ast_row = run_router(instance, ast_router)
     ast_row.reduction_pct = reduction_percent(baseline_row.wirelength, ast_row.wirelength)
@@ -102,12 +107,12 @@ def sweep_circuit(
     reductions measured against that single baseline.
     """
     config = config or ExperimentConfig()
-    baseline_router = ExtBst(skew_bound_ps=config.skew_bound_ps, config=config.router_config)
+    baseline_router = get_router(config.baseline_spec())
     _, baseline_row = run_router(base_instance.with_single_group(), baseline_router)
     baseline_row.circuit = base_instance.name
     rows = [baseline_row]
 
-    ast_router = AstDme(config.ast_config())
+    ast_router = get_router(config.ast_spec())
     for num_groups in config.group_counts:
         grouped = grouping(base_instance, num_groups)
         _, row = run_router(grouped, ast_router)

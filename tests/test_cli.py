@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,3 +54,57 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.startswith("circuit,")
         assert "AST-DME" in out
+
+    def test_route_json_output(self, tmp_path, capsys):
+        path = tmp_path / "r1.inst"
+        main(["generate", "r1", str(path), "--groups", "4"])
+        capsys.readouterr()
+        assert main(["route", str(path), "--json", "--validate"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["issues"] == []
+        assert data["wirelength"] > 0.0
+        assert data["num_groups"] == 4
+        assert data["spec"]["router"]["name"] == "ast-dme"
+
+    def test_routers_lists_registry(self, capsys):
+        assert main(["routers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ast-dme", "ext-bst", "greedy-dme"):
+            assert name in out
+
+
+class TestBatchCommand:
+    @staticmethod
+    def _write_specs(tmp_path, runs):
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps({"runs": runs}))
+        return str(path)
+
+    @staticmethod
+    def _spec(router="ast-dme", **extra):
+        spec = {
+            "instance": {"kind": "random", "num_sinks": 15, "seed": 3, "groups": 2},
+            "router": {"name": router, "options": {"skew_bound_ps": 10.0}},
+        }
+        spec.update(extra)
+        return spec
+
+    def test_batch_runs_specs(self, tmp_path, capsys):
+        path = self._write_specs(tmp_path, [self._spec(label="a"), self._spec("ext-bst", label="b")])
+        assert main(["batch", path, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "b" in out and "ok" in out
+
+    def test_batch_json_output(self, tmp_path, capsys):
+        path = self._write_specs(tmp_path, [self._spec(label="a")])
+        assert main(["batch", path, "--workers", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 1
+        assert data[0]["ok"] is True
+        assert data[0]["spec"]["label"] == "a"
+
+    def test_batch_exits_nonzero_on_error(self, tmp_path, capsys):
+        path = self._write_specs(tmp_path, [self._spec(), self._spec("no-such-router")])
+        assert main(["batch", path, "--workers", "1"]) == 1
+        assert "ERROR" in capsys.readouterr().out
