@@ -1,0 +1,29 @@
+"""Runnable shim around :mod:`repro.bench` (the ``repro bench`` harness).
+
+The implementation lives inside the package so the CLI can import it after
+installation; this file keeps the conventional ``benchmarks/`` entry point::
+
+    PYTHONPATH=src python benchmarks/harness.py --smoke --out BENCH_smoke.json
+
+which is identical to ``repro bench --smoke --out BENCH_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import (  # noqa: F401 - re-exported for benchmark scripts
+    DEFAULT_SIZES,
+    GATE_SPEEDUP,
+    SCHEMA,
+    SMOKE_SIZES,
+    format_rows,
+    run_suite,
+    scaling_configs,
+    validate_bench_payload,
+)
+
+if __name__ == "__main__":
+    from repro.cli import main as cli_main
+
+    sys.exit(cli_main(["bench"] + sys.argv[1:]))

@@ -1,0 +1,352 @@
+"""The ``repro bench`` perf-gate harness.
+
+Runs a scaling suite of routing benchmarks -- seeded random instances at
+growing sink counts, each routed by every registered algorithm through the
+:mod:`repro.api` facade -- and writes a ``BENCH_*.json`` trajectory file with
+wall-time, peak-RSS and quality (wirelength / skew) columns.
+
+Two kinds of rows are produced per instance size:
+
+* one row per router (``ast-dme`` on an 8-group intermingled instance,
+  ``greedy-dme`` and ``ext-bst`` on the ungrouped instance) with the default
+  configuration -- the headline trajectory every PR is compared against;
+* one ``greedy-dme`` strict single-merge row per neighbour strategy
+  (``scalar`` seed reference, ``rebuild`` vectorised, ``incremental``
+  maintained index) -- the merging loop dominates there, which is what the
+  speed-up *gates* measure.
+
+Each run executes in a fresh worker process so ``ru_maxrss`` is a true
+per-run peak and runs cannot warm each other's caches; runs execute
+sequentially so timings do not contend.
+
+The JSON payload (see :func:`validate_bench_payload` for the schema) is what
+``repro bench`` writes and CI uploads as a per-PR artifact; committed
+``BENCH_scaling.json`` files form the measured perf trajectory of the repo.
+``benchmarks/harness.py`` is a runnable shim around this module.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.registry import RouterSpec
+from repro.api.runner import run
+from repro.api.spec import InstanceSpec, RunSpec
+
+__all__ = [
+    "SCHEMA",
+    "DEFAULT_SIZES",
+    "SMOKE_SIZES",
+    "GATE_SPEEDUP",
+    "scaling_configs",
+    "run_suite",
+    "validate_bench_payload",
+    "format_rows",
+]
+
+#: Schema identifier stamped into every payload this harness writes.
+SCHEMA = "repro-bench/v1"
+
+#: Default sink counts of the scaling suite (the perf gate runs at the last).
+DEFAULT_SIZES = (500, 2000, 8000)
+
+#: Sink counts of the ``--smoke`` suite (seconds, not minutes; CI-friendly).
+SMOKE_SIZES = (60, 120)
+
+#: Wall-time improvement the gate demands of the incremental strategy over
+#: the scalar seed reference on the single-merge greedy-DME configuration.
+GATE_SPEEDUP = 5.0
+
+#: Keys every bench row carries (the JSON schema, enforced by
+#: :func:`validate_bench_payload`).
+ROW_KEYS = frozenset(
+    {
+        "label", "router", "num_sinks", "groups", "seed", "order",
+        "neighbor_strategy", "wall_seconds", "select_seconds",
+        "total_seconds", "peak_rss_mb", "wirelength", "global_skew_ps",
+        "max_intra_group_skew_ps", "num_nodes", "passes",
+        "neighbor_full_rebuilds", "neighbor_incremental_passes", "ok",
+        "error",
+    }
+)
+
+GATE_KEYS = frozenset(
+    {
+        "name", "baseline_label", "candidate_label", "identity_label",
+        "speedup", "threshold", "identical_results", "passed",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Suite definition
+# ----------------------------------------------------------------------
+def scaling_configs(
+    sizes: Sequence[int] = DEFAULT_SIZES, seed: int = 1
+) -> List[Dict[str, Any]]:
+    """The bench configurations of the scaling suite, as plain dicts.
+
+    Each entry holds a serialisable :class:`RunSpec` dict plus the metadata
+    columns (``order``, ``neighbor_strategy``) the spec alone does not show.
+    """
+    configs: List[Dict[str, Any]] = []
+    for n in sizes:
+        # Headline trajectory: default configuration per router.
+        for router, groups in (("ast-dme", 8), ("greedy-dme", 1), ("ext-bst", 1)):
+            label = "%s-n%d" % (router, n)
+            configs.append(
+                {
+                    "label": label,
+                    "order": "multi",
+                    "neighbor_strategy": "incremental",
+                    "spec": RunSpec(
+                        instance=InstanceSpec.from_random(n, seed=seed, groups=groups),
+                        router=RouterSpec(router, {"skew_bound_ps": 10.0}),
+                        label=label,
+                    ).to_dict(),
+                }
+            )
+        # Perf-gate rows: strict single-merge order, one row per strategy.
+        for strategy in ("scalar", "rebuild", "incremental"):
+            label = "greedy-dme-single-%s-n%d" % (strategy, n)
+            configs.append(
+                {
+                    "label": label,
+                    "order": "single",
+                    "neighbor_strategy": strategy,
+                    "spec": RunSpec(
+                        instance=InstanceSpec.from_random(n, seed=seed),
+                        router=RouterSpec(
+                            "greedy-dme",
+                            {"multi_merge": False, "neighbor_strategy": strategy},
+                        ),
+                        label=label,
+                    ).to_dict(),
+                }
+            )
+    return configs
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one bench config in this (fresh) process; returns the row."""
+    spec = RunSpec.from_dict(config["spec"])
+    row: Dict[str, Any] = {
+        "label": config["label"],
+        "router": spec.router.name,
+        "num_sinks": spec.instance.num_sinks or 0,
+        "groups": spec.instance.groups,
+        "seed": spec.instance.seed,
+        "order": config["order"],
+        "neighbor_strategy": config["neighbor_strategy"],
+        "wall_seconds": 0.0,
+        "select_seconds": 0.0,
+        "total_seconds": 0.0,
+        "peak_rss_mb": 0.0,
+        "wirelength": 0.0,
+        "global_skew_ps": 0.0,
+        "max_intra_group_skew_ps": 0.0,
+        "num_nodes": 0,
+        "passes": 0,
+        "neighbor_full_rebuilds": 0,
+        "neighbor_incremental_passes": 0,
+        "ok": False,
+        "error": None,
+    }
+    try:
+        result = run(spec, keep_tree=True)
+    except Exception as exc:  # noqa: BLE001 - a bench row must never abort the suite
+        row["error"] = "%s: %s" % (type(exc).__name__, exc)
+        return row
+    stats = result.routing.stats
+    row.update(
+        wall_seconds=result.route_seconds,
+        select_seconds=stats.select_seconds,
+        total_seconds=result.total_seconds,
+        # ru_maxrss is KiB on Linux; the fresh worker process makes it a true
+        # per-run peak rather than the high-water mark of the whole suite.
+        peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        wirelength=result.wirelength,
+        global_skew_ps=result.global_skew_ps,
+        max_intra_group_skew_ps=result.max_intra_group_skew_ps,
+        num_nodes=result.num_nodes,
+        passes=stats.passes,
+        neighbor_full_rebuilds=stats.neighbor_full_rebuilds,
+        neighbor_incremental_passes=stats.neighbor_incremental_passes,
+        ok=True,
+    )
+    return row
+
+
+def _gates(
+    rows: List[Dict[str, Any]], sizes: Sequence[int], threshold: float
+) -> List[Dict[str, Any]]:
+    """The speed-up / identity gates derived from the finished rows.
+
+    For every instance size: ``incremental`` must route results identical to
+    both the ``scalar`` seed reference and the stateless ``rebuild`` strategy,
+    and at the largest size must beat the scalar baseline by ``threshold``
+    (small runs are noise-bound, so only identity gates there).
+    """
+    by_label = {row["label"]: row for row in rows}
+    gates: List[Dict[str, Any]] = []
+    largest = max(sizes)
+    for n in sizes:
+        baseline = by_label.get("greedy-dme-single-scalar-n%d" % n)
+        candidate = by_label.get("greedy-dme-single-incremental-n%d" % n)
+        identity = by_label.get("greedy-dme-single-rebuild-n%d" % n)
+        if not baseline or not candidate or not identity:
+            continue
+        usable = baseline["ok"] and candidate["ok"] and identity["ok"]
+        speedup = (
+            baseline["wall_seconds"] / candidate["wall_seconds"]
+            if usable and candidate["wall_seconds"] > 0.0
+            else 0.0
+        )
+        identical = usable and all(
+            baseline[key] == candidate[key] == identity[key]
+            for key in (
+                "wirelength",
+                "global_skew_ps",
+                "max_intra_group_skew_ps",
+                "num_nodes",
+            )
+        )
+        required = threshold if n == largest else 0.0
+        gates.append(
+            {
+                "name": "greedy-dme-single-n%d" % n,
+                "baseline_label": baseline["label"],
+                "candidate_label": candidate["label"],
+                "identity_label": identity["label"],
+                "speedup": speedup,
+                "threshold": required,
+                "identical_results": identical,
+                "passed": usable and identical and speedup >= required,
+            }
+        )
+    return gates
+
+
+def run_suite(
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 1,
+    smoke: bool = False,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the scaling suite and return the ``BENCH_*.json`` payload.
+
+    Args:
+        sizes: sink counts to sweep (defaults to 500/2000/8000, or the tiny
+            smoke sizes with ``smoke=True``).
+        seed: instance seed shared by every run.
+        smoke: run the CI-sized suite: tiny instances, and the speed-up
+            threshold is waived (identity still gates) because sub-second
+            runs are dominated by noise.
+        progress: optional callable invoked with each finished row.
+    """
+    if sizes is None:
+        sizes = SMOKE_SIZES if smoke else DEFAULT_SIZES
+    threshold = 0.0 if smoke else GATE_SPEEDUP
+    configs = scaling_configs(sizes, seed=seed)
+    rows: List[Dict[str, Any]] = []
+    # A fresh single-use pool per run: each row executes in its own child
+    # process, so peak-RSS is a true per-run measurement and runs stay
+    # sequential.  (Recreating the pool is the 3.8-compatible equivalent of
+    # max_tasks_per_child=1, which needs Python 3.11.)
+    for config in configs:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            row = pool.submit(_bench_worker, config).result()
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return {
+        "schema": SCHEMA,
+        "suite": "smoke" if smoke else "scaling",
+        "seed": seed,
+        "sizes": list(sizes),
+        "rows": rows,
+        "gates": _gates(rows, sizes, threshold),
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation / reporting
+# ----------------------------------------------------------------------
+def validate_bench_payload(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid bench JSON document.
+
+    This is the schema contract CI asserts on the ``--smoke`` artifact and
+    future PRs assert on committed ``BENCH_*.json`` trajectories.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a JSON object")
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            "unknown bench schema %r (expected %r)" % (payload.get("schema"), SCHEMA)
+        )
+    for key in ("suite", "seed", "sizes", "rows", "gates"):
+        if key not in payload:
+            raise ValueError("bench payload misses key %r" % key)
+    if not isinstance(payload["rows"], list) or not payload["rows"]:
+        raise ValueError("bench payload must contain a non-empty 'rows' list")
+    for row in payload["rows"]:
+        missing = ROW_KEYS - set(row)
+        if missing:
+            raise ValueError(
+                "bench row %r misses keys %s" % (row.get("label"), sorted(missing))
+            )
+        if row["error"] is None and not row["ok"]:
+            raise ValueError("bench row %r is not ok but carries no error" % row.get("label"))
+    if not isinstance(payload["gates"], list):
+        raise ValueError("bench payload must contain a 'gates' list")
+    for gate in payload["gates"]:
+        missing = GATE_KEYS - set(gate)
+        if missing:
+            raise ValueError(
+                "bench gate %r misses keys %s" % (gate.get("name"), sorted(missing))
+            )
+
+
+def format_rows(payload: Dict[str, Any]) -> str:
+    """A human-readable table of a bench payload (what ``repro bench`` prints)."""
+    lines = [
+        "%-36s %9s %9s %9s %12s"
+        % ("label", "wall s", "select s", "rss MB", "wirelength")
+    ]
+    for row in payload["rows"]:
+        status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
+        lines.append(
+            "%-36s %9.3f %9.3f %9.1f %12.0f%s"
+            % (
+                row["label"],
+                row["wall_seconds"],
+                row["select_seconds"],
+                row["peak_rss_mb"],
+                row["wirelength"],
+                status,
+            )
+        )
+    for gate in payload["gates"]:
+        lines.append(
+            "gate %-31s %9.2fx (>= %.1fx)  identical=%s  %s"
+            % (
+                gate["name"],
+                gate["speedup"],
+                gate["threshold"],
+                gate["identical_results"],
+                "PASS" if gate["passed"] else "FAIL",
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - `repro bench` is the entry point
+    from repro.cli import main as cli_main
+
+    sys.exit(cli_main(["bench"] + sys.argv[1:]))

@@ -6,6 +6,7 @@ Subcommands::
     repro route     -- route an instance file and print a summary
     repro batch     -- execute a JSON list of run specs (optionally parallel)
     repro routers   -- list the routers available in the registry
+    repro bench     -- run the perf-gate scaling suite, write BENCH_*.json
     repro table1    -- reproduce Table I (clustered sink groups)
     repro table2    -- reproduce Table II (intermingled sink groups)
     repro figure1   -- reproduce Figure 1 (zero vs bounded skew)
@@ -99,6 +100,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("routers", help="list the routers available in the registry")
+
+    bench = sub.add_parser(
+        "bench", help="run the perf-gate scaling suite and write BENCH_*.json"
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_scaling.json",
+        help="path of the JSON trajectory file to write (default: BENCH_scaling.json)",
+    )
+    bench.add_argument(
+        "--sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="sink counts to sweep (default: 500 2000 8000, or 60 120 with --smoke)",
+    )
+    bench.add_argument("--seed", type=int, default=1, help="instance seed")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized suite: same schema, speed-up threshold waived",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="also print the full JSON payload"
+    )
 
     for name, help_text in (
         ("table1", "reproduce Table I (clustered sink groups)"),
@@ -219,6 +245,33 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_rows, run_suite, validate_bench_payload
+
+    def progress(row):
+        status = "ok" if row["ok"] else "ERROR"
+        print(
+            "bench %-36s %9.3f s  %s" % (row["label"], row["wall_seconds"], status),
+            file=sys.stderr,
+        )
+
+    payload = run_suite(sizes=args.sizes, seed=args.seed, smoke=args.smoke, progress=progress)
+    validate_bench_payload(payload)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(format_rows(payload))
+    print("wrote %s" % args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    # Row errors and failed gates surface in the exit code so CI can gate on
+    # `repro bench --smoke` directly.
+    ok = all(row["ok"] for row in payload["rows"]) and all(
+        gate["passed"] for gate in payload["gates"]
+    )
+    return 0 if ok else 1
+
+
 def _cmd_routers(_: argparse.Namespace) -> int:
     for name in available_routers():
         print("%-12s %s" % (name, router_description(name)))
@@ -266,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "routers":
         return _cmd_routers(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command in ("table1", "table2"):
         return _cmd_table(args, args.command)
     if args.command == "figure1":

@@ -52,6 +52,14 @@ class AstDmeConfig:
     delay_target_weight: float = 0.0
     #: KD-tree candidates examined per subtree during pair selection.
     neighbor_candidates: int = 8
+    #: Neighbour-candidate engine: "incremental" (maintained index, default),
+    #: "rebuild" (vectorised, stateless per pass) or "scalar" (the seed
+    #: per-pair reference).  All strategies select identical merge pairs; see
+    #: docs/performance.md.
+    neighbor_strategy: str = "incremental"
+    #: Fraction of candidate lists a pass may invalidate before the
+    #: incremental strategy falls back to a full rebuild.
+    staleness_threshold: float = 0.25
     #: Allow wire snaking in constrained merges (required for exactness).
     allow_snaking: bool = True
     #: Fraction of the intra-group skew bound each cross-group merge may spend
@@ -67,6 +75,8 @@ class AstDmeConfig:
             merge_fraction=self.merge_fraction,
             delay_target_weight=self.delay_target_weight,
             neighbor_candidates=self.neighbor_candidates,
+            neighbor_strategy=self.neighbor_strategy,
+            staleness_threshold=self.staleness_threshold,
         )
 
     def constraints(self) -> SkewConstraints:
@@ -83,6 +93,12 @@ class MergeStats:
     snaked_merges: int = 0
     total_detour: float = 0.0
     max_violation: float = 0.0
+    #: Wall time spent selecting merge pairs (the neighbour engine).
+    select_seconds: float = 0.0
+    #: Full neighbour-index rebuilds / incremental repairs (incremental
+    #: strategy only; both stay 0 for the stateless strategies).
+    neighbor_full_rebuilds: int = 0
+    neighbor_incremental_passes: int = 0
 
     def record(self, decision: MergeDecision) -> None:
         self.merges_by_case[decision.case] = self.merges_by_case.get(decision.case, 0) + 1
@@ -167,9 +183,12 @@ class AstDme:
 
         stats = MergeStats()
         association = GroupAssociation(instance.groups())
+        selector = policy.make_selector()
 
         while len(subtrees) > 1:
-            pairs = policy.pairs_for_pass(subtrees)
+            select_start = time.perf_counter()
+            pairs = selector.pairs_for_pass(subtrees)
+            stats.select_seconds += time.perf_counter() - select_start
             if not pairs:
                 raise RuntimeError("merging-order policy returned no pairs")
             stats.passes += 1
@@ -233,6 +252,8 @@ class AstDme:
         tree.add_source(instance.source, root_subtree.node_id, source_edge)
 
         embed_tree(tree, loci)
+        stats.neighbor_full_rebuilds = selector.full_rebuilds
+        stats.neighbor_incremental_passes = selector.incremental_passes
         elapsed = time.perf_counter() - start
         return RoutingResult(
             tree=tree,
@@ -252,7 +273,9 @@ class AstDme:
         commitments of the same group pair can still be reconciled within the
         bound when their subtrees later merge.
         """
-        tightest = min(constraints.bound_for(group) for group in subtree.groups)
+        # Iterate the delays dict directly: same group set as subtree.groups
+        # without materialising a frozenset on this hot path.
+        tightest = min(constraints.bound_for(group) for group in subtree.delays)
         return self.config.sdr_skew_budget * tightest
 
     @staticmethod

@@ -11,17 +11,42 @@ adopts two enhancements from earlier work (Chapter V.F), both exposed here:
 
 A policy turns the list of active subtrees into the list of index pairs to
 merge in the current pass; the router is agnostic to how they were chosen.
+
+Three interchangeable *neighbour strategies* implement the candidate search
+(all selecting identical pairs; see ``docs/performance.md``):
+
+``incremental`` (default)
+    A stateful :class:`~repro.cts.neighbor_index.NeighborIndex` maintained
+    across passes: only candidate lists invalidated by the previous pass are
+    recomputed, with a staleness threshold that falls back to a full rebuild.
+
+``rebuild``
+    Stateless vectorised selection: a fresh KD-tree and batch distance
+    kernels every pass.
+
+``scalar``
+    The seed per-pair reference implementation (KD-tree rebuilt every pass,
+    scalar ``Trr.distance_to`` calls); kept as the equivalence oracle and the
+    performance baseline of the bench harness.
+
+Routers hold per-run selection state in a :class:`MergePairSelector` obtained
+from :meth:`MergeOrderPolicy.make_selector`; the stateless
+:meth:`MergeOrderPolicy.pairs_for_pass` remains for one-shot callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.subtree import Subtree
+from repro.cts.neighbor_index import NeighborIndex
 from repro.cts.nearest_neighbor import select_merge_pairs
 
-__all__ = ["MergeOrderPolicy"]
+__all__ = ["MergeOrderPolicy", "MergePairSelector", "NEIGHBOR_STRATEGIES"]
+
+#: Supported neighbour-candidate strategies.
+NEIGHBOR_STRATEGIES = ("incremental", "rebuild", "scalar")
 
 
 @dataclass(frozen=True)
@@ -39,12 +64,19 @@ class MergeOrderPolicy:
             the current median pair distance from the cost of pairs involving
             slow subtrees, so they are merged earlier.
         neighbor_candidates: KD-tree candidate count per subtree.
+        neighbor_strategy: candidate-search engine (see module docstring);
+            every strategy selects identical pairs.
+        staleness_threshold: fraction of candidate lists a pass may
+            invalidate before the ``incremental`` strategy rebuilds from
+            scratch instead of repairing.
     """
 
     multi_merge: bool = True
     merge_fraction: float = 0.5
     delay_target_weight: float = 0.0
     neighbor_candidates: int = 8
+    neighbor_strategy: str = "incremental"
+    staleness_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if not 0.0 < self.merge_fraction <= 1.0:
@@ -53,26 +85,26 @@ class MergeOrderPolicy:
             raise ValueError("delay_target_weight must be non-negative")
         if self.neighbor_candidates < 1:
             raise ValueError("neighbor_candidates must be at least 1")
+        if self.neighbor_strategy not in NEIGHBOR_STRATEGIES:
+            raise ValueError(
+                "unknown neighbor_strategy %r; expected one of %s"
+                % (self.neighbor_strategy, NEIGHBOR_STRATEGIES)
+            )
+        if not 0.0 <= self.staleness_threshold <= 1.0:
+            raise ValueError("staleness_threshold must lie in [0, 1]")
 
     # ------------------------------------------------------------------
-    def pairs_for_pass(self, subtrees: Sequence[Subtree]) -> List[Tuple[int, int]]:
-        """Indices of the subtree pairs to merge in the current pass."""
-        n = len(subtrees)
-        if n < 2:
-            return []
-        if self.multi_merge:
-            max_pairs = max(1, int(round(self.merge_fraction * (n // 2))))
-        else:
-            max_pairs = 1
+    def make_selector(self) -> "MergePairSelector":
+        """A fresh per-run selector carrying this policy's search state."""
+        return MergePairSelector(self)
 
-        bias = self._delay_bias(subtrees) if self.delay_target_weight > 0.0 else None
-        pairing = select_merge_pairs(
-            [s.locus for s in subtrees],
-            max_pairs=max_pairs,
-            cost_bias=bias,
-            k_candidates=self.neighbor_candidates,
-        )
-        return list(pairing.pairs)
+    def pairs_for_pass(self, subtrees: Sequence[Subtree]) -> List[Tuple[int, int]]:
+        """Indices of the subtree pairs to merge in the current pass.
+
+        Stateless convenience: equivalent to one pass of a fresh selector
+        (identical pairs for every strategy).
+        """
+        return self.make_selector().pairs_for_pass(subtrees)
 
     # ------------------------------------------------------------------
     def _delay_bias(self, subtrees: Sequence[Subtree]) -> List[float]:
@@ -94,3 +126,66 @@ class MergeOrderPolicy:
         extent = max(max(xs) - min(xs), max(ys) - min(ys), max(spans), 1.0)
         scale = self.delay_target_weight * extent / max(len(subtrees), 1)
         return [-scale * (d / largest) for d in max_delays]
+
+
+class MergePairSelector:
+    """Per-run pair selection: a policy plus its candidate-search state.
+
+    The routers create one selector per routing run and call
+    :meth:`pairs_for_pass` once per merging pass; the ``incremental``
+    strategy's neighbour index lives here, keyed by subtree node ids, so
+    successive passes reuse every candidate list the previous pass did not
+    invalidate.
+    """
+
+    def __init__(self, policy: MergeOrderPolicy) -> None:
+        self.policy = policy
+        self._index: Optional[NeighborIndex] = None
+        if policy.neighbor_strategy == "incremental":
+            self._index = NeighborIndex(
+                k_candidates=policy.neighbor_candidates,
+                staleness_threshold=policy.staleness_threshold,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def full_rebuilds(self) -> int:
+        """Full index rebuilds performed so far (0 for stateless strategies)."""
+        return self._index.full_rebuilds if self._index is not None else 0
+
+    @property
+    def incremental_passes(self) -> int:
+        """Passes answered by incremental repair instead of a rebuild."""
+        return self._index.incremental_passes if self._index is not None else 0
+
+    # ------------------------------------------------------------------
+    def pairs_for_pass(self, subtrees: Sequence[Subtree]) -> List[Tuple[int, int]]:
+        """Indices of the subtree pairs to merge in the current pass."""
+        policy = self.policy
+        n = len(subtrees)
+        if n < 2:
+            return []
+        if policy.multi_merge:
+            max_pairs = max(1, int(round(policy.merge_fraction * (n // 2))))
+        else:
+            max_pairs = 1
+
+        bias = (
+            policy._delay_bias(subtrees)
+            if policy.delay_target_weight > 0.0
+            else None
+        )
+        loci = [s.locus for s in subtrees]
+        if self._index is not None:
+            pairing = self._index.select_pairs(
+                loci, [s.node_id for s in subtrees], max_pairs, bias
+            )
+        else:
+            pairing = select_merge_pairs(
+                loci,
+                max_pairs=max_pairs,
+                cost_bias=bias,
+                k_candidates=policy.neighbor_candidates,
+                engine="scalar" if policy.neighbor_strategy == "scalar" else "vectorized",
+            )
+        return list(pairing.pairs)

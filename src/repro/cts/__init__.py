@@ -6,6 +6,9 @@ This package contains everything that is *not* specific to associative skew:
   by every router.
 * :mod:`repro.cts.nearest_neighbor` -- nearest-neighbour pair selection for
   greedy bottom-up merging (single-pair and Edahiro-style multi-merge).
+* :mod:`repro.cts.neighbor_index` -- incremental candidate maintenance across
+  merging passes (the "incremental" neighbour strategy; see
+  docs/performance.md).
 * :mod:`repro.cts.embedding` -- the top-down embedding pass shared by DME, BST
   and AST-DME.
 * :mod:`repro.cts.routing` -- rectilinear (L-shape + snake) realisations of the
@@ -16,6 +19,7 @@ This package contains everything that is *not* specific to associative skew:
 
 from repro.cts.tree import ClockNode, ClockTree
 from repro.cts.nearest_neighbor import NeighborPairing, select_merge_pairs
+from repro.cts.neighbor_index import NeighborIndex
 from repro.cts.embedding import embed_tree
 from repro.cts.routing import route_edges, RectilinearRoute
 from repro.cts.dme import GreedyDme
@@ -26,6 +30,7 @@ __all__ = [
     "ClockTree",
     "ExtBst",
     "GreedyDme",
+    "NeighborIndex",
     "NeighborPairing",
     "RectilinearRoute",
     "embed_tree",

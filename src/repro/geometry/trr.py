@@ -13,12 +13,32 @@ operation the DME-family routers need exact and cheap:
 
 The class is frozen (immutable); all mutating-looking operations return new
 instances.
+
+Batch kernels
+-------------
+The DME-family routers evaluate TRR-to-TRR distances in bulk (every merging
+pass scores thousands of candidate pairs), so this module also exposes an
+array-of-intervals representation and numpy-broadcast distance kernels:
+
+* :func:`loci_to_array` stacks a sequence of regions into an ``(n, 4)`` float
+  array of ``(ulo, uhi, vlo, vhi)`` rows;
+* :func:`pairwise_distances` (also available as
+  :meth:`Trr.pairwise_distances`) computes the full ``(n, m)`` distance
+  matrix between two such arrays;
+* :func:`pair_distances` gathers the distances of explicit ``(i, j)`` index
+  pairs from one array.
+
+The kernels evaluate exactly the same expressions as the scalar
+:meth:`Trr.distance_to` (``max`` of per-axis interval gaps, each gap a single
+subtraction), so their results are bit-identical to the scalar path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry.manhattan import (
     interval_gap,
@@ -27,7 +47,13 @@ from repro.geometry.manhattan import (
 )
 from repro.geometry.point import Point
 
-__all__ = ["Trr"]
+__all__ = [
+    "Trr",
+    "loci_to_array",
+    "region_distances",
+    "pairwise_distances",
+    "pair_distances",
+]
 
 _EPS = 1e-9
 
@@ -131,6 +157,20 @@ class Trr:
         gap_v = interval_gap(self.vlo, self.vhi, other.vlo, other.vhi)
         return max(gap_u, gap_v)
 
+    @classmethod
+    def pairwise_distances(
+        cls, loci_a: Sequence["Trr"], loci_b: Optional[Sequence["Trr"]] = None
+    ) -> "np.ndarray":
+        """The ``(len(loci_a), len(loci_b))`` matrix of region distances.
+
+        Vectorised equivalent of calling :meth:`distance_to` for every pair;
+        ``loci_b=None`` computes the self-distance matrix of ``loci_a``.  See
+        :func:`pairwise_distances` for the array-of-intervals form.
+        """
+        arr_a = loci_to_array(loci_a)
+        arr_b = None if loci_b is None else loci_to_array(loci_b)
+        return pairwise_distances(arr_a, arr_b)
+
     def distance_to_point(self, point: Point) -> float:
         """Manhattan distance from ``point`` to this region."""
         return self.distance_to(Trr.from_point(point))
@@ -224,6 +264,68 @@ class Trr:
             self.vlo,
             self.vhi,
         )
+
+
+# ----------------------------------------------------------------------
+# Batch kernels (array-of-intervals representation)
+# ----------------------------------------------------------------------
+def loci_to_array(loci: Sequence[Trr]) -> np.ndarray:
+    """Stack regions into an ``(n, 4)`` array of ``(ulo, uhi, vlo, vhi)`` rows.
+
+    The array form is what the batch distance kernels and the neighbour index
+    operate on; row ``r`` corresponds to ``loci[r]``.
+    """
+    n = len(loci)
+    out = np.empty((n, 4), dtype=float)
+    for index, locus in enumerate(loci):
+        out[index, 0] = locus.ulo
+        out[index, 1] = locus.uhi
+        out[index, 2] = locus.vlo
+        out[index, 3] = locus.vhi
+    return out
+
+
+def region_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Broadcasted region-to-region distances between interval arrays.
+
+    ``a`` and ``b`` are broadcast-compatible ``(..., 4)`` arrays of
+    ``(ulo, uhi, vlo, vhi)`` rows; the result drops the last axis.  This is
+    the single kernel every batch shape reduces to, and it evaluates exactly
+    what ``Trr.distance_to`` evaluates: per axis the gap is
+    ``max(0, lo2 - hi1, lo1 - hi2)`` and the distance is the larger of the
+    two axis gaps.  Only one of the two signed gaps can be positive, so the
+    ``max`` reproduces the scalar branchy computation bit for bit.
+    """
+    gap_u = np.maximum(b[..., 0] - a[..., 1], a[..., 0] - b[..., 1])
+    gap_v = np.maximum(b[..., 2] - a[..., 3], a[..., 2] - b[..., 3])
+    return np.maximum(np.maximum(gap_u, gap_v), 0.0)
+
+
+def pairwise_distances(
+    arr_a: np.ndarray, arr_b: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Region-to-region Manhattan distances between two interval arrays.
+
+    ``arr_a`` is ``(n, 4)`` and ``arr_b`` is ``(m, 4)`` (``None`` means
+    ``arr_a`` itself); the result is the ``(n, m)`` matrix whose entries equal
+    ``Trr.distance_to`` of the corresponding regions exactly.
+    """
+    if arr_b is None:
+        arr_b = arr_a
+    a = np.asarray(arr_a, dtype=float).reshape(-1, 4)
+    b = np.asarray(arr_b, dtype=float).reshape(-1, 4)
+    return region_distances(a[:, np.newaxis, :], b[np.newaxis, :, :])
+
+
+def pair_distances(arr: np.ndarray, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    """Distances of explicit index pairs ``(i[t], j[t])`` within one array.
+
+    Vectorised gather used on KD-tree candidate pairs: same result as
+    ``loci[i[t]].distance_to(loci[j[t]])`` for every ``t``, without forming
+    the full pairwise matrix.
+    """
+    a = np.asarray(arr, dtype=float)
+    return region_distances(a[i], a[j])
 
 
 def _nearest_interval_coords(

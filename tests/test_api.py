@@ -341,13 +341,20 @@ class TestBatchRunner:
 # ----------------------------------------------------------------------
 # Config copying regressions (the ast_config / shim bug class)
 # ----------------------------------------------------------------------
+#: Non-default values for choice-valued (string) config fields.
+_CHANGED_CHOICES = {"neighbor_strategy": "scalar"}
+
+
 def _config_with_every_field_changed() -> AstDmeConfig:
     """An AstDmeConfig whose every field differs from the default."""
     defaults = AstDmeConfig()
     changed = {}
     for field_ in fields(AstDmeConfig):
         value = getattr(defaults, field_.name)
-        if isinstance(value, bool):
+        if field_.name in _CHANGED_CHOICES:
+            assert _CHANGED_CHOICES[field_.name] != value
+            changed[field_.name] = _CHANGED_CHOICES[field_.name]
+        elif isinstance(value, bool):
             changed[field_.name] = not value
         elif isinstance(value, float):
             changed[field_.name] = value + 1.0

@@ -1,0 +1,125 @@
+"""Tests for the ``repro bench`` perf-gate harness (repro.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    GATE_SPEEDUP,
+    SCHEMA,
+    format_rows,
+    run_suite,
+    scaling_configs,
+    validate_bench_payload,
+)
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One tiny suite run shared by the schema / gate / CLI-free tests."""
+    return run_suite(sizes=(60,), smoke=True)
+
+
+class TestSuiteDefinition:
+    def test_configs_cover_routers_and_strategies(self):
+        configs = scaling_configs(sizes=(500, 2000), seed=1)
+        labels = {config["label"] for config in configs}
+        # 3 headline routers + 3 single-merge strategies, per size.
+        assert len(configs) == 12
+        assert "ast-dme-n500" in labels
+        assert "greedy-dme-single-scalar-n2000" in labels
+        assert "greedy-dme-single-incremental-n2000" in labels
+        # Specs are declarative and JSON-serialisable end to end.
+        json.dumps(configs)
+
+    def test_gate_threshold_is_the_issue_target(self):
+        assert GATE_SPEEDUP == 5.0
+
+
+class TestRunSuite:
+    def test_payload_schema(self, smoke_payload):
+        validate_bench_payload(smoke_payload)
+        assert smoke_payload["schema"] == SCHEMA
+        assert smoke_payload["suite"] == "smoke"
+        assert smoke_payload["sizes"] == [60]
+        assert len(smoke_payload["rows"]) == 6
+        json.dumps(smoke_payload)  # JSON-serialisable end to end
+
+    def test_all_rows_ok(self, smoke_payload):
+        for row in smoke_payload["rows"]:
+            assert row["ok"], row["error"]
+            assert row["wall_seconds"] > 0.0
+            assert row["peak_rss_mb"] > 0.0
+            assert row["wirelength"] > 0.0
+            assert row["num_nodes"] > 0
+
+    def test_gates_identical_results(self, smoke_payload):
+        assert smoke_payload["gates"], "suite must derive at least one gate"
+        for gate in smoke_payload["gates"]:
+            assert gate["identical_results"], (
+                "strategies must route identical trees: %s" % gate
+            )
+            assert gate["passed"]
+
+    def test_single_merge_strategies_agree_exactly(self, smoke_payload):
+        rows = {
+            row["neighbor_strategy"]: row
+            for row in smoke_payload["rows"]
+            if row["order"] == "single"
+        }
+        assert set(rows) == {"scalar", "rebuild", "incremental"}
+        reference = rows["scalar"]
+        for strategy in ("rebuild", "incremental"):
+            assert rows[strategy]["wirelength"] == reference["wirelength"]
+            assert rows[strategy]["global_skew_ps"] == reference["global_skew_ps"]
+            assert rows[strategy]["num_nodes"] == reference["num_nodes"]
+
+    def test_format_rows_mentions_every_label(self, smoke_payload):
+        text = format_rows(smoke_payload)
+        for row in smoke_payload["rows"]:
+            assert row["label"] in text
+        assert "PASS" in text
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_bench_payload([])
+
+    def test_rejects_wrong_schema(self, smoke_payload):
+        bad = dict(smoke_payload, schema="something-else/v9")
+        with pytest.raises(ValueError, match="unknown bench schema"):
+            validate_bench_payload(bad)
+
+    def test_rejects_missing_row_keys(self, smoke_payload):
+        bad = dict(smoke_payload, rows=[{"label": "x"}])
+        with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+    def test_rejects_empty_rows(self, smoke_payload):
+        bad = dict(smoke_payload, rows=[])
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_bench_payload(bad)
+
+
+class TestCli:
+    def test_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["bench", "--smoke", "--sizes", "60", "120", "--out", "B.json"]
+        )
+        assert args.command == "bench"
+        assert args.smoke is True
+        assert args.sizes == [60, 120]
+        assert args.out == "B.json"
+
+    def test_bench_smoke_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_smoke.json"
+        assert main(["bench", "--smoke", "--sizes", "60", "--out", str(out)]) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        assert payload["suite"] == "smoke"
+        assert "wrote %s" % out in capsys.readouterr().out

@@ -1,0 +1,259 @@
+"""Property tests for merge-pair selection and the incremental neighbour index.
+
+Seeded-random loops (100 instances each) assert the invariants the merging
+loop relies on:
+
+* ``select_merge_pairs`` always returns mutually disjoint pairs with costs
+  sorted ascending, for every engine;
+* the ``vectorized`` engine selects exactly what the ``scalar`` seed
+  reference selects;
+* a :class:`~repro.cts.neighbor_index.NeighborIndex` maintained across an
+  evolving population selects exactly what a stateless full rebuild selects;
+* the degenerate ``k_candidates + 1 > n`` populations (n = 2, 3) are handled
+  uniformly by every path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cts.nearest_neighbor import (
+    NeighborPairing,
+    _candidate_pairs,
+    candidate_pairs,
+    select_merge_pairs,
+)
+from repro.cts.neighbor_index import NeighborIndex
+from repro.geometry.point import Point
+from repro.geometry.trr import Trr
+
+
+def random_loci(rng: np.random.Generator, n: int, layout: float = 100_000.0):
+    """``n`` random loci: a mix of degenerate points and proper regions."""
+    pts = rng.uniform(0.0, layout, size=(n, 2))
+    radii = rng.uniform(0.0, layout / 50.0, size=n)
+    loci = []
+    for t in range(n):
+        locus = Trr.from_point(Point(float(pts[t, 0]), float(pts[t, 1])))
+        if t % 3 == 0:
+            locus = locus.expanded(float(radii[t]))
+        loci.append(locus)
+    return loci
+
+
+def assert_same_pairing(got: NeighborPairing, ref: NeighborPairing) -> None:
+    assert got.pairs == ref.pairs
+    assert got.costs == ref.costs
+
+
+# ----------------------------------------------------------------------
+# select_merge_pairs invariants (both engines)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+def test_pairs_disjoint_and_costs_ascending(engine):
+    rng = np.random.default_rng(7)
+    for trial in range(100):
+        n = int(rng.integers(2, 120))
+        loci = random_loci(rng, n)
+        max_pairs = [None, 1, 3][trial % 3]
+        pairing = select_merge_pairs(loci, max_pairs=max_pairs, engine=engine)
+        assert len(pairing) >= 1
+        used = [index for pair in pairing.pairs for index in pair]
+        assert len(used) == len(set(used)), "pairs must be mutually disjoint"
+        assert all(0 <= i < j < n for i, j in pairing.pairs)
+        assert pairing.costs == sorted(pairing.costs)
+        if max_pairs is not None:
+            assert len(pairing) <= max_pairs
+
+
+def test_vectorized_engine_matches_scalar_reference():
+    rng = np.random.default_rng(13)
+    for trial in range(100):
+        n = int(rng.integers(2, 150))
+        loci = random_loci(rng, n)
+        max_pairs = [None, 1, 4][trial % 3]
+        ref = select_merge_pairs(loci, max_pairs=max_pairs, engine="scalar")
+        got = select_merge_pairs(loci, max_pairs=max_pairs, engine="vectorized")
+        assert_same_pairing(got, ref)
+
+
+def test_unknown_engine_rejected():
+    loci = random_loci(np.random.default_rng(0), 4)
+    with pytest.raises(ValueError, match="unknown engine"):
+        select_merge_pairs(loci, engine="quantum")
+
+
+def test_cost_bias_changes_priorities_identically():
+    rng = np.random.default_rng(29)
+    for _ in range(25):
+        n = int(rng.integers(3, 80))
+        loci = random_loci(rng, n)
+        bias = rng.uniform(-10_000.0, 0.0, size=n).tolist()
+        ref = select_merge_pairs(loci, cost_bias=bias, engine="scalar")
+        got = select_merge_pairs(loci, cost_bias=bias, engine="vectorized")
+        assert_same_pairing(got, ref)
+
+
+# ----------------------------------------------------------------------
+# Incremental index vs stateless rebuild over an evolving population
+# ----------------------------------------------------------------------
+def _evolve(rng, loci, keys, next_key, removals):
+    """Remove ``removals`` random rows (order preserved), append their merges."""
+    n = len(loci)
+    removed = sorted(rng.choice(n, size=removals, replace=False).tolist())
+    removed_set = set(removed)
+    survivors = [t for t in range(n) if t not in removed_set]
+    new_loci = [loci[t] for t in survivors]
+    new_keys = [keys[t] for t in survivors]
+    for a, b in zip(removed[0::2], removed[1::2]):
+        merged = loci[a].union_bound(loci[b])
+        new_loci.append(merged)
+        new_keys.append(next_key)
+        next_key += 1
+    return new_loci, new_keys, next_key
+
+
+def test_incremental_index_matches_stateless_rebuild():
+    """100 evolving populations: maintained index == fresh selection."""
+    rng = np.random.default_rng(41)
+    for trial in range(100):
+        n = int(rng.integers(60, 140))
+        loci = random_loci(rng, n)
+        keys = list(range(n))
+        next_key = n
+        index = NeighborIndex()
+        for pass_no in range(4):
+            max_pairs = [1, None, 2, 1][pass_no]
+            ref = select_merge_pairs(loci, max_pairs=max_pairs)
+            got = index.select_pairs(loci, keys, max_pairs=max_pairs)
+            assert_same_pairing(got, ref)
+            removals = int(rng.integers(1, max(2, len(loci) // 10))) * 2
+            loci, keys, next_key = _evolve(rng, loci, keys, next_key, removals)
+
+
+def test_incremental_candidate_sets_match_rebuild():
+    rng = np.random.default_rng(43)
+    for _ in range(30):
+        n = int(rng.integers(60, 120))
+        loci = random_loci(rng, n)
+        keys = list(range(n))
+        next_key = n
+        index = NeighborIndex()
+        for _pass in range(3):
+            got = index.candidate_pairs(loci, keys)
+            ref = candidate_pairs(loci)
+            got_set = set(zip(got.i.tolist(), got.j.tolist()))
+            ref_set = set(zip(ref.i.tolist(), ref.j.tolist()))
+            assert got_set == ref_set
+            loci, keys, next_key = _evolve(rng, loci, keys, next_key, 4)
+
+
+def test_staleness_threshold_forces_rebuild():
+    """Removing most of the population falls back to a full rebuild."""
+    rng = np.random.default_rng(47)
+    loci = random_loci(rng, 120)
+    keys = list(range(120))
+    index = NeighborIndex(staleness_threshold=0.1)
+    index.select_pairs(loci, keys, max_pairs=1)
+    assert index.full_rebuilds == 1
+    # Remove half the population: far beyond a 10% staleness budget.
+    loci2 = loci[:60]
+    keys2 = keys[:60]
+    ref = select_merge_pairs(loci2, max_pairs=1)
+    got = index.select_pairs(loci2, keys2, max_pairs=1)
+    assert_same_pairing(got, ref)
+    assert index.full_rebuilds == 2
+    assert index.incremental_passes == 0
+
+
+def test_incremental_pass_counted():
+    rng = np.random.default_rng(53)
+    loci = random_loci(rng, 120)
+    keys = list(range(120))
+    next_key = 120
+    index = NeighborIndex()
+    index.select_pairs(loci, keys, max_pairs=1)
+    loci, keys, next_key = _evolve(rng, loci, keys, next_key, 2)
+    index.select_pairs(loci, keys, max_pairs=1)
+    assert index.full_rebuilds == 1
+    assert index.incremental_passes == 1
+
+
+def test_keys_none_disables_reuse():
+    """Without keys the index must not reuse lists across different loci."""
+    rng = np.random.default_rng(59)
+    index = NeighborIndex()
+    for _ in range(3):
+        loci = random_loci(rng, 80)
+        ref = select_merge_pairs(loci, max_pairs=1)
+        got = index.select_pairs(loci, max_pairs=1)
+        assert_same_pairing(got, ref)
+
+
+def test_keys_none_never_poisons_a_later_keyed_call():
+    """A keyed call after keys=None must not diff against positional keys."""
+    rng = np.random.default_rng(67)
+    index = NeighborIndex()
+    index.select_pairs(random_loci(rng, 60))  # keys=None: no cached identity
+    loci = random_loci(rng, 60)
+    keys = list(range(0, 58)) + [1000, 1001]  # overlaps arange(60) by value
+    ref = select_merge_pairs(loci, max_pairs=2)
+    got = index.select_pairs(loci, keys, max_pairs=2)
+    assert_same_pairing(got, ref)
+
+
+def test_index_rejects_mismatched_keys_and_bias():
+    loci = random_loci(np.random.default_rng(0), 60)
+    index = NeighborIndex()
+    with pytest.raises(ValueError, match="keys"):
+        index.select_pairs(loci, keys=[1, 2, 3])
+    with pytest.raises(ValueError, match="cost_bias"):
+        index.select_pairs(loci, keys=list(range(60)), cost_bias=[0.0])
+
+
+# ----------------------------------------------------------------------
+# Degenerate populations (the k_candidates + 1 > n reshape case)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("k_candidates", [1, 2, 8])
+def test_candidate_pairs_degenerate_populations(n, k_candidates):
+    """n = 2 and n = 3 loci survive every k through the KD-tree path."""
+    loci = random_loci(np.random.default_rng(n * 10 + k_candidates), n)
+    candidates = _candidate_pairs(loci, k_candidates)
+    all_pairs = {(i, j) for i in range(n) for j in range(i + 1, n)}
+    got = {(i, j) for _, i, j in candidates}
+    # Unordered pairs appear at most once, whatever shape scipy returned for
+    # the squeezed k == 1 / k >= n queries; with enough candidates per locus
+    # the KD path must produce every pair.
+    assert len(candidates) == len(got)
+    if k_candidates + 1 >= n:
+        assert got == all_pairs
+    else:
+        assert got and got <= all_pairs
+    for dist, i, j in candidates:
+        assert dist == loci[i].distance_to(loci[j])
+
+
+@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("engine", ["vectorized", "scalar"])
+def test_select_merge_pairs_degenerate_via_kd_path(n, engine):
+    """Tiny populations forced through the KD-tree branch select correctly."""
+    loci = random_loci(np.random.default_rng(n), n)
+    pairing = select_merge_pairs(
+        loci, max_pairs=1, k_candidates=8, exhaustive_threshold=0, engine=engine
+    )
+    assert len(pairing) == 1
+    reference = select_merge_pairs(loci, max_pairs=1, engine=engine)
+    assert_same_pairing(pairing, reference)
+
+
+def test_index_degenerate_populations_match_reference():
+    rng = np.random.default_rng(61)
+    for n in (2, 3, 5):
+        loci = random_loci(rng, n)
+        index = NeighborIndex(k_candidates=8)
+        got = index.select_pairs(loci, keys=list(range(n)), max_pairs=1)
+        ref = select_merge_pairs(loci, max_pairs=1)
+        assert_same_pairing(got, ref)
+        assert index.exhaustive_passes == 1

@@ -1,0 +1,78 @@
+"""Golden-file regression for the paper experiments.
+
+``tests/golden/table1_r1.json`` pins the exact numbers ``experiments.table1``
+produces for the r1 circuit with 4 clustered groups.  Any refactor that
+shifts a wirelength or skew by even one ULP fails here, so the paper's
+reproduced numbers cannot drift silently.
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -c "
+    import tests.test_experiments_golden as g; g.regenerate()"
+
+and commit the diff together with an explanation of why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.table1 import run_table1
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "table1_r1.json"
+
+#: The pinned configuration: small enough to run in CI on every push.
+CIRCUITS = ("r1",)
+GROUP_COUNTS = (4,)
+
+
+def compute_rows():
+    """The golden table rows as JSON-ready dicts (timings excluded)."""
+    config = ExperimentConfig(group_counts=GROUP_COUNTS)
+    rows = run_table1(circuits=CIRCUITS, config=config)
+    return [
+        {
+            "circuit": row.circuit,
+            "num_sinks": row.num_sinks,
+            "num_groups": row.num_groups,
+            "algorithm": row.algorithm,
+            "wirelength": row.wirelength,
+            "reduction_pct": row.reduction_pct,
+            "max_skew_ps": row.max_skew_ps,
+            "intra_skew_ps": row.intra_skew_ps,
+            # cpu_seconds is deliberately omitted: it is the only
+            # non-deterministic column.
+        }
+        for row in rows
+    ]
+
+
+def regenerate() -> None:
+    """Rewrite the golden file from the current implementation."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(compute_rows(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_table1_reproduces_golden_file_exactly():
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; run tests.test_experiments_golden.regenerate()"
+    )
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    # Exact equality, floats included: the experiment is deterministic and
+    # json round-trips doubles losslessly via repr.
+    assert compute_rows() == golden
+
+
+def test_golden_file_shape():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    # One EXT-BST baseline row plus one AST-DME row per group count.
+    assert len(golden) == len(CIRCUITS) * (1 + len(GROUP_COUNTS))
+    assert golden[0]["algorithm"] == "EXT-BST"
+    assert all(row["algorithm"] == "AST-DME" for row in golden[1:])
+    assert all(row["wirelength"] > 0.0 for row in golden)
