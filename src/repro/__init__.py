@@ -67,15 +67,20 @@ from repro.api import (
     run_batch,
     run_safe,
 )
+from repro.analysis import validate_routes
 from repro.circuits import (
     ClockInstance,
     Sink,
     available_circuits,
+    available_families,
     clustered_groups,
+    generate_instance,
     intermingled_groups,
+    load_benchmark,
     load_instance,
     make_r_circuit,
     random_instance,
+    save_benchmark,
     save_instance,
     striped_groups,
 )
@@ -89,7 +94,7 @@ from repro.core import (
 )
 from repro.cts import ClockNode, ClockTree, ExtBst, GreedyDme, embed_tree, route_edges
 from repro.delay import DEFAULT_TECHNOLOGY, RcTree, Technology, elmore_delays, sink_delays
-from repro.geometry import Point, Trr
+from repro.geometry import ObstacleSet, Point, Rect, Trr
 from repro.experiments import run_figure1, run_figure2, run_table1, run_table2
 
 __version__ = "1.0.0"
@@ -106,8 +111,10 @@ __all__ = [
     "GreedyDme",
     "GroupAssociation",
     "InstanceSpec",
+    "ObstacleSet",
     "Point",
     "RcTree",
+    "Rect",
     "Router",
     "RouterSpec",
     "RoutingResult",
@@ -123,13 +130,16 @@ __all__ = [
     "ValidationIssue",
     "WirelengthReport",
     "available_circuits",
+    "available_families",
     "available_routers",
     "clustered_groups",
     "elmore_delays",
     "embed_tree",
     "format_table",
+    "generate_instance",
     "get_router",
     "intermingled_groups",
+    "load_benchmark",
     "load_instance",
     "make_r_circuit",
     "random_instance",
@@ -144,11 +154,13 @@ __all__ = [
     "run_safe",
     "run_table1",
     "run_table2",
+    "save_benchmark",
     "save_instance",
     "sink_delays",
     "skew_report",
     "striped_groups",
     "validate_result",
+    "validate_routes",
     "validate_tree",
     "wirelength_report",
     "__version__",

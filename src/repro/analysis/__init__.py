@@ -11,7 +11,12 @@
 
 from repro.analysis.skew import SkewReport, skew_report
 from repro.analysis.wirelength import WirelengthReport, reduction_percent, wirelength_report
-from repro.analysis.validate import ValidationIssue, validate_result, validate_tree
+from repro.analysis.validate import (
+    ValidationIssue,
+    validate_result,
+    validate_routes,
+    validate_tree,
+)
 from repro.analysis.report import TableRow, format_table, rows_to_csv
 
 __all__ = [
@@ -24,6 +29,7 @@ __all__ = [
     "rows_to_csv",
     "skew_report",
     "validate_result",
+    "validate_routes",
     "validate_tree",
     "wirelength_report",
 ]

@@ -7,18 +7,23 @@
   right load and group;
 * every embedded edge books at least as much wire as the Manhattan distance
   between its endpoints (booked length may exceed it -- that is snaking);
+* when the instance carries routing blockages, no node is embedded inside a
+  blockage and every edge books enough wire for a blockage-avoiding path
+  (the *detour distance*);
 * the Elmore delays computed by the fast evaluator agree with the independent
   :class:`~repro.delay.rc_tree.RcTree` oracle.
 
 ``validate_result`` additionally checks the routing result's bookkeeping
 (loci containing the embedded locations, intra-group skew within the
-configured bound).
+configured bound).  ``validate_routes`` checks realised rectilinear paths
+(:func:`repro.cts.routing.route_edges` output) segment by segment against an
+obstacle set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Mapping, Optional
 
 import networkx as nx
 
@@ -26,8 +31,9 @@ from repro.analysis.skew import skew_report
 from repro.delay.elmore import sink_delays
 from repro.delay.rc_tree import RcTree
 from repro.delay.technology import Technology
+from repro.geometry.obstacles import ObstacleSet
 
-__all__ = ["ValidationIssue", "validate_tree", "validate_result"]
+__all__ = ["ValidationIssue", "validate_tree", "validate_result", "validate_routes"]
 
 _GEOM_TOL = 1e-6
 _DELAY_REL_TOL = 1e-9
@@ -40,24 +46,55 @@ class ValidationIssue:
     code: str
     message: str
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def __str__(self) -> str:
         return "[%s] %s" % (self.code, self.message)
 
 
-def validate_tree(tree, instance=None) -> List[ValidationIssue]:
+def validate_tree(
+    tree, instance=None, obstacles: Optional[ObstacleSet] = None
+) -> List[ValidationIssue]:
     """Validate an embedded clock tree, optionally against its instance.
 
+    ``obstacles`` defaults to the instance's blockages (when an instance is
+    given); pass an :class:`ObstacleSet` explicitly to check a bare tree.
     Returns a list of issues; an empty list means the tree passed every check.
     """
+    if obstacles is None and instance is not None and instance.has_obstacles:
+        obstacles = instance.obstacle_set()
     issues: List[ValidationIssue] = []
     issues.extend(_check_structure(tree))
     if any(issue.message == "the tree has no root" for issue in issues):
         # Without a root the electrical checks cannot run at all.
         return issues
     issues.extend(_check_geometry(tree))
+    if obstacles:
+        issues.extend(_check_blockages(tree, obstacles))
     issues.extend(_check_delays(tree))
     if instance is not None:
         issues.extend(_check_instance_coverage(tree, instance))
+    return issues
+
+
+def validate_routes(
+    routes: Mapping[int, "object"], obstacles: ObstacleSet
+) -> List[ValidationIssue]:
+    """Check realised rectilinear routes segment by segment against blockages.
+
+    ``routes`` is the output of :func:`repro.cts.routing.route_edges`; every
+    segment that crosses a blockage interior yields one ``blockage`` issue.
+    """
+    issues: List[ValidationIssue] = []
+    for child_id in sorted(routes):
+        route = routes[child_id]
+        for start, end in route.segments():
+            if obstacles.blocks_segment(start, end):
+                issues.append(
+                    ValidationIssue(
+                        "blockage",
+                        "route %d -> %d segment %r -> %r crosses a blockage"
+                        % (route.parent_id, child_id, start, end),
+                    )
+                )
     return issues
 
 
@@ -70,15 +107,34 @@ def validate_result(result, intra_bound_ps: Optional[float] = None) -> List[Vali
             not exceed this bound (in picoseconds, as in the paper).
     """
     issues = validate_tree(result.tree, result.instance)
+    obstacles = (
+        result.instance.obstacle_set() if result.instance.has_obstacles else None
+    )
+    # A locus escape may displace a node by at most roughly one blockage
+    # diameter (nearest_free_point walks to a blocking rectangle's boundary);
+    # anything further off-locus is a bug, blockages or not.
+    max_escape = (
+        max(rect.width + rect.height for rect in obstacles) if obstacles else 0.0
+    )
     for node_id, locus in result.loci.items():
         node = result.tree.node(node_id)
-        if node.location is not None and not locus.contains_point(node.location, tol=1e-3):
-            issues.append(
-                ValidationIssue(
-                    "locus",
-                    "node %d embedded at %r outside its placement locus" % (node_id, node.location),
-                )
+        if node.location is None or locus.contains_point(node.location, tol=1e-3):
+            continue
+        if (
+            obstacles is not None
+            and not obstacles.blocks_point(node.location)
+            and obstacles.blocks_point(locus.nearest_point_to(node.location))
+            and locus.distance_to_point(node.location) <= max_escape + 1e-3
+        ):
+            # The locus is blockage-blind and locally unusable here: the
+            # embedding legitimately escaped to the blockage boundary.
+            continue
+        issues.append(
+            ValidationIssue(
+                "locus",
+                "node %d embedded at %r outside its placement locus" % (node_id, node.location),
             )
+        )
     if intra_bound_ps is not None:
         report = skew_report(result.tree)
         bound = Technology.ps_to_internal(intra_bound_ps)
@@ -149,6 +205,49 @@ def _check_geometry(tree) -> List[ValidationIssue]:
                     "geometry",
                     "edge %d -> %d books %.6g wire for a %.6g distance"
                     % (parent.node_id, node.node_id, node.edge_length, distance),
+                )
+            )
+    return issues
+
+
+def _check_blockages(tree, obstacles: ObstacleSet) -> List[ValidationIssue]:
+    """No node inside a blockage; every edge books its detour distance."""
+    issues: List[ValidationIssue] = []
+    for node in tree.nodes():
+        if node.location is not None and obstacles.blocks_point(node.location):
+            issues.append(
+                ValidationIssue(
+                    "blockage",
+                    "node %d is embedded at %r inside a blockage" % (node.node_id, node.location),
+                )
+            )
+    for node in tree.nodes():
+        if node.parent is None or node.location is None:
+            continue
+        parent = tree.node(node.parent)
+        if parent.location is None:
+            continue
+        if obstacles.blocks_point(node.location) or obstacles.blocks_point(parent.location):
+            continue  # already reported above; detours are undefined from inside
+        try:
+            needed = obstacles.detour_distance(parent.location, node.location)
+        except ValueError:
+            # Overlapping blockages can enclose an endpoint without any single
+            # rectangle containing it; that is an issue, not a crash.
+            issues.append(
+                ValidationIssue(
+                    "blockage",
+                    "edge %d -> %d has no blockage-avoiding path at all"
+                    % (parent.node_id, node.node_id),
+                )
+            )
+            continue
+        if node.edge_length < needed - _GEOM_TOL:
+            issues.append(
+                ValidationIssue(
+                    "blockage",
+                    "edge %d -> %d books %.6g wire but avoiding blockages needs %.6g"
+                    % (parent.node_id, node.node_id, node.edge_length, needed),
                 )
             )
     return issues

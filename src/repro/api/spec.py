@@ -23,7 +23,7 @@ from repro.circuits.instance import ClockInstance
 __all__ = ["InstanceSpec", "RunSpec", "RunResult"]
 
 #: Supported instance sources.
-_KINDS = ("file", "circuit", "random")
+_KINDS = ("file", "circuit", "random", "benchmark", "family")
 #: Supported grouping styles for generated instances.
 _GROUPINGS = ("intermingled", "clustered", "striped")
 
@@ -32,14 +32,20 @@ _GROUPINGS = ("intermingled", "clustered", "striped")
 class InstanceSpec:
     """A declarative description of where a routing instance comes from.
 
-    Three kinds are supported:
+    Five kinds are supported:
 
     * ``file``: an instance file written by ``save_instance`` / ``repro
       generate`` (``path``);
     * ``circuit``: a named benchmark circuit (``circuit``, e.g. ``"r1"``) with
       an optional grouping applied;
     * ``random``: a seeded random instance (``num_sinks``, ``seed``,
-      ``layout_size``).
+      ``layout_size``);
+    * ``benchmark``: an ISPD-CNS-style benchmark file -- sinks, blockages and
+      source (``path``, parsed by
+      :func:`repro.circuits.benchmarks.load_benchmark`);
+    * ``family``: a seeded synthetic scenario family (``family`` in
+      ``clustered`` / ``ring`` / ``blocked``, plus ``num_sinks``, ``seed``,
+      ``layout_size`` and optionally ``num_blockages``).
 
     For every kind, ``groups`` > 1 (re)applies the ``grouping`` style
     (``intermingled`` / ``clustered`` / ``striped``) with ``grouping_seed``.
@@ -54,16 +60,26 @@ class InstanceSpec:
     groups: int = 1
     grouping: str = "intermingled"
     grouping_seed: int = 7
+    family: Optional[str] = None
+    num_blockages: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError("unknown instance kind %r; expected one of %s" % (self.kind, _KINDS))
-        if self.kind == "file" and not self.path:
-            raise ValueError("a 'file' instance spec needs a path")
+        if self.kind in ("file", "benchmark") and not self.path:
+            raise ValueError("a %r instance spec needs a path" % self.kind)
         if self.kind == "circuit" and not self.circuit:
             raise ValueError("a 'circuit' instance spec needs a circuit name")
-        if self.kind == "random" and not self.num_sinks:
-            raise ValueError("a 'random' instance spec needs num_sinks")
+        if self.kind in ("random", "family") and not self.num_sinks:
+            raise ValueError("a %r instance spec needs num_sinks" % self.kind)
+        if self.kind == "family":
+            from repro.circuits.benchmarks import available_families
+
+            if self.family not in available_families():
+                raise ValueError(
+                    "unknown generator family %r; available: %s"
+                    % (self.family, ", ".join(available_families()))
+                )
         if self.grouping not in _GROUPINGS:
             raise ValueError(
                 "unknown grouping %r; expected one of %s" % (self.grouping, _GROUPINGS)
@@ -115,6 +131,36 @@ class InstanceSpec:
             grouping_seed=grouping_seed,
         )
 
+    @classmethod
+    def from_benchmark(cls, path) -> "InstanceSpec":
+        """An ISPD-CNS-style benchmark file (sinks + blockages + source)."""
+        return cls(kind="benchmark", path=str(path))
+
+    @classmethod
+    def from_family(
+        cls,
+        family: str,
+        num_sinks: int,
+        seed: int = 0,
+        layout_size: float = 100_000.0,
+        num_blockages: Optional[int] = None,
+        groups: int = 1,
+        grouping: str = "intermingled",
+        grouping_seed: int = 7,
+    ) -> "InstanceSpec":
+        """A seeded synthetic scenario family (``clustered``/``ring``/``blocked``)."""
+        return cls(
+            kind="family",
+            family=family,
+            num_sinks=num_sinks,
+            seed=seed,
+            layout_size=layout_size,
+            num_blockages=num_blockages,
+            groups=groups,
+            grouping=grouping,
+            grouping_seed=grouping_seed,
+        )
+
     # ------------------------------------------------------------------
     def build(self) -> ClockInstance:
         """Materialise the described :class:`ClockInstance`."""
@@ -124,10 +170,28 @@ class InstanceSpec:
             # Grouping applies to loaded files too: regrouping an instance on
             # the fly is how sweeps reuse one generated file.
             return self._apply_grouping(load_instance(self.path))
+        if self.kind == "benchmark":
+            from repro.circuits.benchmarks import load_benchmark
+
+            return self._apply_grouping(load_benchmark(self.path))
         if self.kind == "circuit":
             from repro.circuits.r_circuits import make_r_circuit
 
             instance = make_r_circuit(self.circuit)
+        elif self.kind == "family":
+            from repro.circuits.benchmarks import generate_instance
+
+            kwargs = {}
+            if self.num_blockages is not None:
+                kwargs["num_blockages"] = self.num_blockages
+            instance = generate_instance(
+                self.family,
+                "%s-%d-%d" % (self.family, self.num_sinks, self.seed),
+                num_sinks=self.num_sinks,
+                seed=self.seed,
+                layout_size=self.layout_size,
+                **kwargs,
+            )
         else:
             from repro.circuits.generator import random_instance
 
@@ -155,7 +219,7 @@ class InstanceSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {"kind": self.kind}
-        if self.kind == "file":
+        if self.kind in ("file", "benchmark"):
             data["path"] = self.path
         elif self.kind == "circuit":
             data["circuit"] = self.circuit
@@ -163,6 +227,10 @@ class InstanceSpec:
             data.update(
                 num_sinks=self.num_sinks, seed=self.seed, layout_size=self.layout_size
             )
+            if self.kind == "family":
+                data["family"] = self.family
+                if self.num_blockages is not None:
+                    data["num_blockages"] = self.num_blockages
         data.update(
             groups=self.groups,
             grouping=self.grouping,
@@ -174,7 +242,7 @@ class InstanceSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "InstanceSpec":
         known = {
             "kind", "path", "circuit", "num_sinks", "seed", "layout_size",
-            "groups", "grouping", "grouping_seed",
+            "groups", "grouping", "grouping_seed", "family", "num_blockages",
         }
         unknown = sorted(set(data) - known)
         if unknown:

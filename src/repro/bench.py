@@ -5,7 +5,7 @@ growing sink counts, each routed by every registered algorithm through the
 :mod:`repro.api` facade -- and writes a ``BENCH_*.json`` trajectory file with
 wall-time, peak-RSS and quality (wirelength / skew) columns.
 
-Two kinds of rows are produced per instance size:
+Three kinds of rows are produced per instance size:
 
 * one row per router (``ast-dme`` on an 8-group intermingled instance,
   ``greedy-dme`` and ``ext-bst`` on the ungrouped instance) with the default
@@ -13,7 +13,10 @@ Two kinds of rows are produced per instance size:
 * one ``greedy-dme`` strict single-merge row per neighbour strategy
   (``scalar`` seed reference, ``rebuild`` vectorised, ``incremental``
   maintained index) -- the merging loop dominates there, which is what the
-  speed-up *gates* measure.
+  speed-up *gates* measure;
+* one obstacle-scenario row per router on the ``blocked`` generator family
+  (uniform sinks dodging macro blockages) -- the obstacle-aware embedding
+  path, tracked with the same wall/RSS/quality columns.
 
 Each run executes in a fresh worker process so ``ru_maxrss`` is a true
 per-run peak and runs cannot warm each other's caches; runs execute
@@ -48,7 +51,8 @@ __all__ = [
 ]
 
 #: Schema identifier stamped into every payload this harness writes.
-SCHEMA = "repro-bench/v1"
+#: v2 adds the ``family`` row column (``uniform`` / ``blocked`` scenarios).
+SCHEMA = "repro-bench/v2"
 
 #: Default sink counts of the scaling suite (the perf gate runs at the last).
 DEFAULT_SIZES = (500, 2000, 8000)
@@ -64,12 +68,12 @@ GATE_SPEEDUP = 5.0
 #: :func:`validate_bench_payload`).
 ROW_KEYS = frozenset(
     {
-        "label", "router", "num_sinks", "groups", "seed", "order",
+        "label", "router", "num_sinks", "groups", "seed", "order", "family",
         "neighbor_strategy", "wall_seconds", "select_seconds",
         "total_seconds", "peak_rss_mb", "wirelength", "global_skew_ps",
         "max_intra_group_skew_ps", "num_nodes", "passes",
-        "neighbor_full_rebuilds", "neighbor_incremental_passes", "ok",
-        "error",
+        "neighbor_full_rebuilds", "neighbor_incremental_passes",
+        "obstacle_detour", "ok", "error",
     }
 )
 
@@ -101,6 +105,7 @@ def scaling_configs(
                 {
                     "label": label,
                     "order": "multi",
+                    "family": "uniform",
                     "neighbor_strategy": "incremental",
                     "spec": RunSpec(
                         instance=InstanceSpec.from_random(n, seed=seed, groups=groups),
@@ -116,6 +121,7 @@ def scaling_configs(
                 {
                     "label": label,
                     "order": "single",
+                    "family": "uniform",
                     "neighbor_strategy": strategy,
                     "spec": RunSpec(
                         instance=InstanceSpec.from_random(n, seed=seed),
@@ -123,6 +129,25 @@ def scaling_configs(
                             "greedy-dme",
                             {"multi_merge": False, "neighbor_strategy": strategy},
                         ),
+                        label=label,
+                    ).to_dict(),
+                }
+            )
+        # Obstacle-scenario rows: the blocked family through every router
+        # (macro blockages exercise the obstacle-aware embedding path).
+        for router, groups in (("ast-dme", 8), ("greedy-dme", 1), ("ext-bst", 1)):
+            label = "%s-blocked-n%d" % (router, n)
+            configs.append(
+                {
+                    "label": label,
+                    "order": "multi",
+                    "family": "blocked",
+                    "neighbor_strategy": "incremental",
+                    "spec": RunSpec(
+                        instance=InstanceSpec.from_family(
+                            "blocked", n, seed=seed, groups=groups
+                        ),
+                        router=RouterSpec(router, {"skew_bound_ps": 10.0}),
                         label=label,
                     ).to_dict(),
                 }
@@ -143,6 +168,7 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         "groups": spec.instance.groups,
         "seed": spec.instance.seed,
         "order": config["order"],
+        "family": config["family"],
         "neighbor_strategy": config["neighbor_strategy"],
         "wall_seconds": 0.0,
         "select_seconds": 0.0,
@@ -155,6 +181,7 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         "passes": 0,
         "neighbor_full_rebuilds": 0,
         "neighbor_incremental_passes": 0,
+        "obstacle_detour": 0.0,
         "ok": False,
         "error": None,
     }
@@ -178,6 +205,7 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         passes=stats.passes,
         neighbor_full_rebuilds=stats.neighbor_full_rebuilds,
         neighbor_incremental_passes=stats.neighbor_incremental_passes,
+        obstacle_detour=stats.obstacle_detour,
         ok=True,
     )
     return row

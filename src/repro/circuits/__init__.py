@@ -25,13 +25,31 @@ from repro.circuits.grouping import (
 )
 from repro.circuits.generator import random_instance
 from repro.circuits.io import load_instance, save_instance
+from repro.circuits.benchmarks import (
+    BenchmarkFormatError,
+    available_families,
+    blocked_instance,
+    clustered_instance,
+    generate_instance,
+    load_benchmark,
+    ring_instance,
+    save_benchmark,
+)
 
 __all__ = [
+    "BenchmarkFormatError",
     "ClockInstance",
     "R_CIRCUIT_SINK_COUNTS",
     "Sink",
     "available_circuits",
+    "available_families",
+    "blocked_instance",
     "clustered_groups",
+    "clustered_instance",
+    "generate_instance",
+    "load_benchmark",
+    "ring_instance",
+    "save_benchmark",
     "grouping_mixing_index",
     "intermingled_groups",
     "load_instance",

@@ -1,17 +1,19 @@
 """Clock routing problem instances.
 
 An instance is a named set of sinks (location, load capacitance, group id),
-a clock source location and the interconnect technology.  Instances are
-immutable from the router's point of view; regrouping helpers return new
-instances sharing the same sinks with different group assignments.
+a clock source location, the interconnect technology and an optional set of
+rectangular routing blockages no wire may cross.  Instances are immutable
+from the router's point of view; regrouping helpers return new instances
+sharing the same sinks with different group assignments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.geometry.obstacles import ObstacleSet, Rect
 from repro.geometry.point import Point
 
 __all__ = ["Sink", "ClockInstance"]
@@ -39,6 +41,9 @@ class ClockInstance:
     sinks: Tuple[Sink, ...]
     source: Point
     technology: Technology = field(default=DEFAULT_TECHNOLOGY)
+    #: Rectangular routing blockages; wires may touch their boundaries but
+    #: never cross their interiors.
+    obstacles: Tuple[Rect, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.sinks:
@@ -46,6 +51,15 @@ class ClockInstance:
         ids = [s.sink_id for s in self.sinks]
         if len(set(ids)) != len(ids):
             raise ValueError("sink ids must be unique")
+        if self.obstacles:
+            blocked = self.obstacle_set()
+            if blocked.blocks_point(self.source):
+                raise ValueError("the clock source lies inside a blockage")
+            for sink in self.sinks:
+                if blocked.blocks_point(sink.location):
+                    raise ValueError(
+                        "sink %d at %r lies inside a blockage" % (sink.sink_id, sink.location)
+                    )
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -88,6 +102,14 @@ class ClockInstance:
         """Sum of all sink load capacitances."""
         return sum(s.cap for s in self.sinks)
 
+    @property
+    def has_obstacles(self) -> bool:
+        return bool(self.obstacles)
+
+    def obstacle_set(self) -> ObstacleSet:
+        """The blockages as a queryable :class:`ObstacleSet` (possibly empty)."""
+        return ObstacleSet(self.obstacles)
+
     # ------------------------------------------------------------------
     # Derived instances
     # ------------------------------------------------------------------
@@ -109,6 +131,16 @@ class ClockInstance:
     def with_technology(self, technology: Technology) -> "ClockInstance":
         """A copy using a different interconnect technology."""
         return replace(self, technology=technology)
+
+    def with_obstacles(
+        self, obstacles: Iterable[Rect], name: Optional[str] = None
+    ) -> "ClockInstance":
+        """A copy carrying the given routing blockages (replacing any present)."""
+        return replace(self, obstacles=tuple(obstacles), name=name or self.name)
+
+    def without_obstacles(self, name: Optional[str] = None) -> "ClockInstance":
+        """A copy with every blockage removed (obstacle-free comparison runs)."""
+        return replace(self, obstacles=(), name=name or self.name)
 
     def subset(self, sink_ids, name: Optional[str] = None) -> "ClockInstance":
         """A copy containing only the requested sinks (order preserved)."""

@@ -2,8 +2,10 @@
 
 Subcommands::
 
-    repro generate  -- generate a benchmark instance file
+    repro generate  -- generate a benchmark instance file (named circuit or
+                       synthetic scenario family, optionally with blockages)
     repro route     -- route an instance file and print a summary
+                       (``--benchmark`` parses ISPD-CNS-style files)
     repro batch     -- execute a JSON list of run specs (optionally parallel)
     repro routers   -- list the routers available in the registry
     repro bench     -- run the perf-gate scaling suite, write BENCH_*.json
@@ -35,6 +37,7 @@ from repro.api.batch import BatchRunner
 from repro.api.registry import RouterSpec, available_routers, router_description
 from repro.api.runner import run
 from repro.api.spec import InstanceSpec, RunResult, RunSpec
+from repro.circuits.benchmarks import available_families
 from repro.circuits.io import save_instance
 from repro.circuits.r_circuits import available_circuits
 from repro.experiments.figure1 import run_figure1
@@ -55,8 +58,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a benchmark instance file")
-    gen.add_argument("circuit", choices=available_circuits())
+    gen.add_argument(
+        "circuit",
+        nargs="?",
+        choices=available_circuits(),
+        help="named r-benchmark circuit (omit when using --family)",
+    )
     gen.add_argument("output", help="path of the instance file to write")
+    gen.add_argument(
+        "--family",
+        choices=available_families(),
+        help="generate a synthetic scenario family instead of a named circuit",
+    )
+    gen.add_argument(
+        "--sinks", type=int, default=200, help="sink count for --family instances"
+    )
+    gen.add_argument(
+        "--blockages",
+        type=int,
+        default=None,
+        help="routing blockage count for --family instances (family default otherwise)",
+    )
+    gen.add_argument(
+        "--layout-size",
+        type=float,
+        default=100_000.0,
+        help="layout side for --family instances (micrometres)",
+    )
     gen.add_argument("--groups", type=int, default=1, help="number of sink groups")
     gen.add_argument(
         "--grouping",
@@ -64,10 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="intermingled",
         help="how to assign sinks to groups when --groups > 1",
     )
-    gen.add_argument("--seed", type=int, default=7, help="grouping seed")
+    gen.add_argument("--seed", type=int, default=7, help="instance + grouping seed")
 
     route = sub.add_parser("route", help="route an instance file and print a summary")
     route.add_argument("instance", help="instance file written by 'repro generate'")
+    route.add_argument(
+        "--benchmark",
+        action="store_true",
+        help="treat the instance file as an ISPD-CNS-style benchmark "
+        "(sinks + blockages + source) instead of the repro v1 format",
+    )
     route.add_argument(
         "--algorithm",
         choices=available_routers(),
@@ -154,11 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    instance = InstanceSpec.from_circuit(
-        args.circuit, groups=args.groups, grouping=args.grouping, grouping_seed=args.seed
-    ).build()
+    if (args.circuit is None) == (args.family is None):
+        raise SystemExit("generate needs exactly one of a circuit name or --family")
+    if args.family is not None:
+        spec = InstanceSpec.from_family(
+            args.family,
+            num_sinks=args.sinks,
+            seed=args.seed,
+            layout_size=args.layout_size,
+            num_blockages=args.blockages,
+            groups=args.groups,
+            grouping=args.grouping,
+            grouping_seed=args.seed,
+        )
+    else:
+        spec = InstanceSpec.from_circuit(
+            args.circuit, groups=args.groups, grouping=args.grouping, grouping_seed=args.seed
+        )
+    instance = spec.build()
     save_instance(instance, args.output)
-    print("wrote %s (%d sinks, %d groups)" % (args.output, instance.num_sinks, instance.num_groups))
+    print(
+        "wrote %s (%d sinks, %d groups, %d blockages)"
+        % (args.output, instance.num_sinks, instance.num_groups, len(instance.obstacles))
+    )
     return 0
 
 
@@ -178,8 +230,13 @@ def _cmd_route(args: argparse.Namespace) -> int:
     # anyway.  Validation uses RunSpec.effective_bound_ps(), which falls back
     # to the same 10 ps default.
     options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
+    instance_spec = (
+        InstanceSpec.from_benchmark(args.instance)
+        if args.benchmark
+        else InstanceSpec.from_file(args.instance)
+    )
     spec = RunSpec(
-        instance=InstanceSpec.from_file(args.instance),
+        instance=instance_spec,
         router=RouterSpec(args.algorithm, options),
         validate=args.validate,
     )

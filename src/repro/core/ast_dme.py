@@ -12,6 +12,10 @@
 2. *Top-down embedding.*  Concrete locations are chosen for every internal
    node (:func:`repro.cts.embedding.embed_tree`); booked wire lengths are
    never changed, so all delays and skews decided bottom-up are preserved.
+   When the instance carries routing blockages the embedding is obstacle
+   aware: locations are chosen by blockage-avoiding detour distance and edges
+   whose booked wire cannot cover the detour are extended (the total
+   extension is reported as ``MergeStats.obstacle_detour``).
 
 Running the router with ``single_group=True`` ignores the instance's grouping
 and yields the conventional bounded-skew (EXT-BST) or zero-skew (greedy-DME)
@@ -99,6 +103,9 @@ class MergeStats:
     #: strategy only; both stay 0 for the stateless strategies).
     neighbor_full_rebuilds: int = 0
     neighbor_incremental_passes: int = 0
+    #: Extra wire added at embedding time to route around blockages (0 for
+    #: obstacle-free instances).
+    obstacle_detour: float = 0.0
 
     def record(self, decision: MergeDecision) -> None:
         self.merges_by_case[decision.case] = self.merges_by_case.get(decision.case, 0) + 1
@@ -251,7 +258,8 @@ class AstDme:
         source_edge = root_subtree.locus.distance_to_point(instance.source)
         tree.add_source(instance.source, root_subtree.node_id, source_edge)
 
-        embed_tree(tree, loci)
+        obstacles = instance.obstacle_set() if instance.has_obstacles else None
+        stats.obstacle_detour = embed_tree(tree, loci, obstacles=obstacles)
         stats.neighbor_full_rebuilds = selector.full_rebuilds
         stats.neighbor_incremental_passes = selector.incremental_passes
         elapsed = time.perf_counter() - start

@@ -6,13 +6,21 @@ physical-design flows) want actual rectilinear paths.  Each edge is realised
 as an L-shape between its endpoints plus, when the booked length exceeds the
 Manhattan distance, a serpentine detour ("wire snaking") appended near the
 child end so that the total path length equals the booked length exactly.
+
+With routing blockages (``obstacles``) the realisation is obstacle aware: an
+unobstructed L-shape is still preferred (horizontal-first, the obstacle-free
+convention), falling back to the vertical-first L and finally to an
+escape-graph route around the blockages; serpentines are placed so that no
+segment of the returned path ever crosses a blockage interior.  Obstacle-free
+calls take the exact historical code path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.geometry.obstacles import ObstacleSet, path_length
 from repro.geometry.point import Point
 
 __all__ = ["RectilinearRoute", "route_edges"]
@@ -32,10 +40,7 @@ class RectilinearRoute:
     @property
     def length(self) -> float:
         """Total Manhattan length of the realised path."""
-        return sum(
-            self.points[i].distance_to(self.points[i + 1])
-            for i in range(len(self.points) - 1)
-        )
+        return path_length(self.points)
 
     @property
     def detour(self) -> float:
@@ -44,6 +49,11 @@ class RectilinearRoute:
             return 0.0
         direct = self.points[0].distance_to(self.points[-1])
         return max(0.0, self.length - direct)
+
+    def segments(self) -> Iterator[Tuple[Point, Point]]:
+        """The consecutive point pairs of the path."""
+        for i in range(len(self.points) - 1):
+            yield self.points[i], self.points[i + 1]
 
 
 def _l_shape(start: Point, end: Point) -> List[Point]:
@@ -54,10 +64,11 @@ def _l_shape(start: Point, end: Point) -> List[Point]:
     return [start, corner, end]
 
 
-def _serpentine(anchor: Point, extra: float, pitch: float) -> List[Point]:
+def _serpentine(anchor: Point, extra: float, pitch: float, axis: str = "y") -> List[Point]:
     """A zig-zag of total length ``extra`` attached at ``anchor``.
 
-    The zig-zag oscillates vertically with the given pitch; the exact shape is
+    The zig-zag oscillates along ``axis`` ("y": vertically, the historical
+    default; "x": horizontally) with the given pitch; the exact shape is
     irrelevant for delay (only length matters) so the simplest legal pattern
     is used.
     """
@@ -67,7 +78,10 @@ def _serpentine(anchor: Point, extra: float, pitch: float) -> List[Point]:
     current = anchor
     while remaining > _TOL:
         step = min(pitch, remaining / 2.0) if remaining > 2.0 * _TOL else remaining
-        up = Point(current.x, current.y + direction * step)
+        if axis == "y":
+            up = Point(current.x, current.y + direction * step)
+        else:
+            up = Point(current.x + direction * step, current.y)
         points.append(up)
         remaining -= step
         if remaining <= _TOL:
@@ -80,14 +94,63 @@ def _serpentine(anchor: Point, extra: float, pitch: float) -> List[Point]:
     return points
 
 
-def route_edges(tree, snake_pitch: float = 10.0) -> Dict[int, RectilinearRoute]:
+def _edge_path(parent: Point, child: Point, obstacles: Optional[ObstacleSet]) -> List[Point]:
+    """The blockage-free backbone path of one edge."""
+    if obstacles is None:
+        return _l_shape(parent, child)
+    path = obstacles.route(parent, child)
+    if len(path) == 1:
+        # Degenerate edge (parent and child coincide): keep the historical
+        # two-point shape so snaking anchors behave identically.
+        return [parent, child]
+    return path
+
+
+def _insert_snake(
+    path: List[Point], extra: float, pitch: float, obstacles: Optional[ObstacleSet]
+) -> List[Point]:
+    """Insert a serpentine of length ``extra`` into ``path``.
+
+    Without obstacles this reproduces the historical shape exactly: a
+    vertical zig-zag anchored just before the final landing point.  With
+    obstacles, anchors along the path, both axes and geometrically shrinking
+    pitches are tried until the inserted segments clear every blockage.
+    """
+    def candidate(anchor_index: int, axis: str, step: float) -> List[Point]:
+        anchor = path[anchor_index]
+        snake = _serpentine(anchor, extra, step, axis=axis)
+        return path[: anchor_index + 1] + snake + path[anchor_index + 1 :]
+
+    default_anchor = len(path) - 2 if len(path) > 2 else 0
+    if obstacles is None:
+        return candidate(default_anchor, "y", pitch)
+    anchors = [default_anchor] + [i for i in range(len(path) - 1) if i != default_anchor]
+    for step in (pitch, pitch / 2.0, pitch / 4.0, pitch / 8.0):
+        for anchor_index in anchors:
+            for axis in ("y", "x"):
+                routed = candidate(anchor_index, axis, step)
+                if not obstacles.blocks_path(routed):
+                    return routed
+    raise ValueError(
+        "cannot place a %.6g snaking detour near %r without crossing a blockage"
+        % (extra, path[-1])
+    )
+
+
+def route_edges(
+    tree, snake_pitch: float = 10.0, obstacles: Optional[ObstacleSet] = None
+) -> Dict[int, RectilinearRoute]:
     """Realise every embedded edge of ``tree`` as a rectilinear path.
 
     Returns a mapping from child node id to its route.  Every node of the tree
     must already have a location (run :func:`repro.cts.embedding.embed_tree`
     first); the length of each returned route equals the booked edge length to
-    within floating-point tolerance.
+    within floating-point tolerance.  With ``obstacles``, no returned segment
+    crosses a blockage interior (the booked lengths must cover the detours --
+    run the embedding pass with the same obstacles).
     """
+    if obstacles is not None and not obstacles:
+        obstacles = None
     routes: Dict[int, RectilinearRoute] = {}
     for node in tree.nodes():
         if node.parent is None:
@@ -98,14 +161,19 @@ def route_edges(tree, snake_pitch: float = 10.0) -> Dict[int, RectilinearRoute]:
                 "edge %d -> %d is not embedded; run embed_tree first"
                 % (parent.node_id, node.node_id)
             )
-        path = _l_shape(parent.location, node.location)
-        direct = parent.location.distance_to(node.location)
-        extra = node.edge_length - direct
+        path = _edge_path(parent.location, node.location, obstacles)
+        realised = path_length(path)
+        extra = node.edge_length - realised
+        if extra < -_TOL and obstacles is not None:
+            raise ValueError(
+                "edge %d -> %d books %.6g wire but its blockage-avoiding path "
+                "needs %.6g; run embed_tree with the same obstacles first"
+                % (parent.node_id, node.node_id, node.edge_length, realised)
+            )
         if extra > _TOL:
             # Insert the serpentine just before the final landing point so the
             # child pin itself stays where the embedding put it.
-            snake = _serpentine(path[-2] if len(path) > 2 else path[0], extra, snake_pitch)
-            path = path[:-1] + snake + [path[-1]]
+            path = _insert_snake(path, extra, snake_pitch, obstacles)
         routes[node.node_id] = RectilinearRoute(
             parent_id=parent.node_id,
             child_id=node.node_id,

@@ -17,9 +17,12 @@ Public classes and helpers:
   degenerate TRRs.
 * :func:`balance_locus`, :func:`shortest_distance_locus` -- merge loci used by
   the DME-family routers.
+* :class:`Rect`, :class:`ObstacleSet` -- rectilinear routing blockages with
+  detour-distance and obstacle-avoiding path queries.
 """
 
 from repro.geometry.point import Point
+from repro.geometry.obstacles import ObstacleSet, Rect
 from repro.geometry.manhattan import (
     chebyshev_distance,
     from_rotated,
@@ -33,7 +36,9 @@ from repro.geometry.arc import arc_endpoints, arc_from_endpoints, is_manhattan_a
 from repro.geometry.sdr import balance_locus, merge_locus, shortest_distance_locus
 
 __all__ = [
+    "ObstacleSet",
     "Point",
+    "Rect",
     "Trr",
     "arc_endpoints",
     "arc_from_endpoints",

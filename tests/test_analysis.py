@@ -4,11 +4,12 @@ import pytest
 
 from repro.analysis.report import TableRow, format_table, rows_to_csv
 from repro.analysis.skew import skew_report
-from repro.analysis.validate import validate_tree
+from repro.analysis.validate import ValidationIssue, validate_result, validate_tree
 from repro.analysis.wirelength import reduction_percent, wirelength_report
 from repro.core.ast_dme import AstDme, AstDmeConfig
 from repro.cts.tree import ClockTree
 from repro.delay.technology import Technology
+from repro.geometry.obstacles import ObstacleSet, Rect
 from repro.geometry.point import Point
 
 
@@ -112,6 +113,125 @@ class TestValidation:
         tree.add_sink(Point(0, 0), 1.0)
         issues = validate_tree(tree)
         assert any(issue.code == "structure" for issue in issues)
+
+
+class TestIssueFormatting:
+    def test_str_is_code_then_message(self):
+        issue = ValidationIssue("blockage", "edge 3 -> 4 crosses a blockage")
+        assert str(issue) == "[blockage] edge 3 -> 4 crosses a blockage"
+
+    def test_str_of_real_issue_round_trips_through_percent_formatting(self):
+        tree, s0, _ = build_skewed_tree()
+        tree.set_edge_length(s0, 10.0)
+        issue = next(i for i in validate_tree(tree) if i.code == "geometry")
+        assert str(issue).startswith("[geometry] ")
+        assert issue.message in str(issue)
+
+
+class TestBlockageValidation:
+    def build_crossing_tree(self):
+        """A hand-built tree whose one edge runs straight through a blockage."""
+        tree = ClockTree()
+        s0 = tree.add_sink(Point(0.0, 50.0), 50.0, group=0)
+        m0 = tree.add_internal([s0], [300.0], location=Point(300.0, 50.0))
+        tree.add_source(Point(300.0, 50.0), m0, 0.0)
+        # Booked wire (300) covers the Manhattan distance but not the 400 um
+        # blockage-avoiding detour around the 100x100 macro in the middle.
+        obstacles = ObstacleSet((Rect(100.0, 0.0, 200.0, 100.0),))
+        return tree, obstacles
+
+    def test_flags_underbooked_detour(self):
+        tree, obstacles = self.build_crossing_tree()
+        issues = validate_tree(tree, obstacles=obstacles)
+        blockage = [i for i in issues if i.code == "blockage"]
+        assert len(blockage) == 1
+        assert "avoiding blockages needs" in blockage[0].message
+
+    def test_flags_node_embedded_inside_blockage(self):
+        tree = ClockTree()
+        s0 = tree.add_sink(Point(50.0, 50.0), 50.0)
+        m0 = tree.add_internal([s0], [100.0], location=Point(150.0, 50.0))
+        tree.add_source(Point(150.0, 50.0), m0, 0.0)
+        obstacles = ObstacleSet((Rect(0.0, 0.0, 100.0, 100.0),))
+        issues = validate_tree(tree, obstacles=obstacles)
+        assert any(
+            i.code == "blockage" and "inside a blockage" in i.message for i in issues
+        )
+
+    def test_clean_when_detour_is_booked(self):
+        tree, obstacles = self.build_crossing_tree()
+        for node in tree.nodes():
+            if node.parent is not None and node.is_sink:
+                tree.set_edge_length(node.node_id, 400.0)
+        issues = validate_tree(tree, obstacles=obstacles)
+        assert [i for i in issues if i.code == "blockage"] == []
+
+    def test_validate_result_flags_blockage_crossing_tree(self, small_instance):
+        """Regression: a routed result re-validated against added blockages."""
+        result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(small_instance)
+        xmin, ymin, xmax, ymax = small_instance.bounding_box()
+        # A blockage across the middle of the layout that the (blockage-blind)
+        # routed tree must cross somewhere.  Forge the instance after routing
+        # so instance validation itself cannot reject sinks inside it.
+        mid_y = (ymin + ymax) / 2.0
+        blockage = Rect(xmin - 1.0, mid_y - 500.0, xmax + 1.0, mid_y + 500.0)
+        object.__setattr__(result.instance, "obstacles", (blockage,))
+        issues = validate_result(result, intra_bound_ps=10.0)
+        assert any(issue.code == "blockage" for issue in issues)
+
+    def test_obstacle_aware_routing_passes_the_same_check(self, small_instance):
+        blocked = small_instance.with_obstacles(
+            (Rect(12_000.0, 12_000.0, 16_000.0, 16_000.0),)
+        )
+        result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(blocked)
+        issues = validate_tree(result.tree, blocked)
+        assert [i for i in issues if i.code == "blockage"] == []
+
+    def test_locus_escape_hatch_still_flags_wild_placements(self, small_instance):
+        """Regression: blockages must not suppress genuine locus violations."""
+        blocked = small_instance.with_obstacles(
+            (Rect(12_000.0, 12_000.0, 16_000.0, 16_000.0),)
+        )
+        result = AstDme(AstDmeConfig(skew_bound_ps=10.0)).route(blocked)
+        # Pick a node whose locus point nearest the wild location is inside
+        # the blockage -- exactly the shape the escape hatch used to accept.
+        wild = Point(-9e6, -9e6)
+        obstacles = blocked.obstacle_set()
+        victim = next(
+            node_id
+            for node_id, locus in result.loci.items()
+            if obstacles.blocks_point(locus.nearest_point_to(wild))
+        )
+        result.tree.set_location(victim, wild)
+        # Give the booked lengths room so only the locus check can fire.
+        for node in result.tree.nodes():
+            if node.parent is not None:
+                result.tree.set_edge_length(node.node_id, 1e9)
+        issues = validate_result(result)
+        assert any(
+            i.code == "locus" and "node %d " % victim in i.message for i in issues
+        )
+
+    def test_enclosed_node_yields_issue_not_crash(self):
+        """Regression: overlapping blockages enclosing a node must produce a
+        blockage issue, not a ValueError from the detour search."""
+        tree = ClockTree()
+        s0 = tree.add_sink(Point(50.0, 50.0), 10.0)
+        m0 = tree.add_internal([s0], [1000.0], location=Point(500.0, 500.0))
+        tree.add_source(Point(500.0, 500.0), m0, 0.0)
+        donut = ObstacleSet(
+            (
+                Rect(0.0, 0.0, 100.0, 20.0),
+                Rect(0.0, 80.0, 100.0, 100.0),
+                Rect(0.0, 0.0, 20.0, 100.0),
+                Rect(80.0, 0.0, 100.0, 100.0),
+            )
+        )
+        issues = validate_tree(tree, obstacles=donut)
+        assert any(
+            i.code == "blockage" and "no blockage-avoiding path" in i.message
+            for i in issues
+        )
 
 
 class TestReportFormatting:

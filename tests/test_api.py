@@ -142,6 +142,55 @@ class TestSpecs:
         assert a.num_sinks == 30 and a.num_groups == 3
         assert a == b  # deterministic for a given spec
 
+    def test_instance_spec_kind_family_validates(self):
+        with pytest.raises(ValueError, match="num_sinks"):
+            InstanceSpec(kind="family", family="blocked")
+        with pytest.raises(ValueError, match="unknown generator family"):
+            InstanceSpec(kind="family", family="swirl", num_sinks=10)
+        with pytest.raises(ValueError, match="path"):
+            InstanceSpec(kind="benchmark")
+
+    def test_instance_spec_builds_family_deterministically(self):
+        spec = InstanceSpec.from_family("blocked", 40, seed=9, groups=2)
+        a, b = spec.build(), spec.build()
+        assert a == b
+        assert a.num_sinks == 40 and a.num_groups == 2
+        assert a.has_obstacles
+        restored = InstanceSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.build() == a
+
+    def test_instance_spec_family_num_blockages_round_trips(self):
+        spec = InstanceSpec.from_family("ring", 25, seed=3, num_blockages=2)
+        assert spec.to_dict()["num_blockages"] == 2
+        assert InstanceSpec.from_dict(spec.to_dict()) == spec
+        assert len(spec.build().obstacles) == 2
+
+    def test_instance_spec_builds_benchmark_file(self, tmp_path):
+        from repro.circuits.benchmarks import blocked_instance, save_benchmark
+
+        original = blocked_instance("bench", 20, seed=4, layout_size=5_000.0)
+        path = tmp_path / "bench.cns"
+        save_benchmark(original, path)
+        spec = InstanceSpec.from_benchmark(path)
+        loaded = spec.build()
+        assert loaded.sinks == original.sinks
+        assert loaded.obstacles == original.obstacles
+        restored = InstanceSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_benchmark_spec_applies_grouping(self, tmp_path):
+        from repro.circuits.benchmarks import blocked_instance, save_benchmark
+
+        save_benchmark(
+            blocked_instance("bench", 20, seed=4, layout_size=5_000.0),
+            tmp_path / "b.cns",
+        )
+        spec = InstanceSpec(kind="benchmark", path=str(tmp_path / "b.cns"), groups=4)
+        grouped = spec.build()
+        assert grouped.num_groups == 4
+        assert grouped.has_obstacles  # grouping preserves blockages
+
     def test_specs_are_hashable_cache_keys(self):
         spec = RunSpec(
             instance=InstanceSpec.from_circuit("r1", groups=4),

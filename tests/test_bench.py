@@ -24,16 +24,28 @@ def smoke_payload():
 
 
 class TestSuiteDefinition:
-    def test_configs_cover_routers_and_strategies(self):
+    def test_configs_cover_routers_strategies_and_scenarios(self):
         configs = scaling_configs(sizes=(500, 2000), seed=1)
         labels = {config["label"] for config in configs}
-        # 3 headline routers + 3 single-merge strategies, per size.
-        assert len(configs) == 12
+        # 3 headline routers + 3 single-merge strategies + 3 blocked-scenario
+        # rows, per size.
+        assert len(configs) == 18
         assert "ast-dme-n500" in labels
         assert "greedy-dme-single-scalar-n2000" in labels
         assert "greedy-dme-single-incremental-n2000" in labels
+        assert "ast-dme-blocked-n500" in labels
+        assert "ext-bst-blocked-n2000" in labels
         # Specs are declarative and JSON-serialisable end to end.
         json.dumps(configs)
+
+    def test_blocked_configs_use_the_blocked_family(self):
+        configs = scaling_configs(sizes=(500,), seed=1)
+        blocked = [c for c in configs if c["family"] == "blocked"]
+        assert len(blocked) == 3
+        for config in blocked:
+            assert config["spec"]["instance"]["kind"] == "family"
+            assert config["spec"]["instance"]["family"] == "blocked"
+        assert all(c["family"] == "uniform" for c in configs if c not in blocked)
 
     def test_gate_threshold_is_the_issue_target(self):
         assert GATE_SPEEDUP == 5.0
@@ -45,8 +57,16 @@ class TestRunSuite:
         assert smoke_payload["schema"] == SCHEMA
         assert smoke_payload["suite"] == "smoke"
         assert smoke_payload["sizes"] == [60]
-        assert len(smoke_payload["rows"]) == 6
+        assert len(smoke_payload["rows"]) == 9
         json.dumps(smoke_payload)  # JSON-serialisable end to end
+
+    def test_obstacle_scenario_rows_present_and_ok(self, smoke_payload):
+        blocked = [row for row in smoke_payload["rows"] if row["family"] == "blocked"]
+        assert {row["router"] for row in blocked} == {"ast-dme", "greedy-dme", "ext-bst"}
+        for row in blocked:
+            assert row["ok"], row["error"]
+            assert row["wirelength"] > 0.0
+            assert row["obstacle_detour"] >= 0.0
 
     def test_all_rows_ok(self, smoke_payload):
         for row in smoke_payload["rows"]:

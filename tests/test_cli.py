@@ -25,6 +25,19 @@ class TestParser:
         assert args.circuits == ["r1"]
         assert args.groups == [4, 6]
 
+    def test_generate_family_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "out.txt", "--family", "blocked", "--sinks", "120", "--blockages", "5"]
+        )
+        assert args.circuit is None
+        assert args.family == "blocked"
+        assert args.sinks == 120
+        assert args.blockages == 5
+
+    def test_route_benchmark_flag(self):
+        args = build_parser().parse_args(["route", "bench.cns", "--benchmark"])
+        assert args.benchmark is True
+
 
 class TestCommands:
     def test_generate_and_route(self, tmp_path, capsys):
@@ -66,6 +79,32 @@ class TestCommands:
         assert data["wirelength"] > 0.0
         assert data["num_groups"] == 4
         assert data["spec"]["router"]["name"] == "ast-dme"
+
+    def test_generate_family_and_route(self, tmp_path, capsys):
+        path = tmp_path / "blocked.inst"
+        assert main(
+            ["generate", str(path), "--family", "blocked", "--sinks", "60", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blockages" in out
+        assert main(["route", str(path), "--algorithm", "greedy-dme"]) == 0
+
+    def test_generate_requires_circuit_xor_family(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["generate", str(tmp_path / "x.inst")])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["generate", "r1", str(tmp_path / "x.inst"), "--family", "ring"])
+
+    def test_route_benchmark_file(self, tmp_path, capsys):
+        from repro.circuits.benchmarks import blocked_instance, save_benchmark
+
+        path = tmp_path / "bench.cns"
+        save_benchmark(blocked_instance("b", 40, seed=6, layout_size=20_000.0), path)
+        assert main(["route", str(path), "--benchmark", "--algorithm", "greedy-dme"]) == 0
+        assert "wirelength" in capsys.readouterr().out
+        # Without --benchmark the v1 parser must reject the CNS file loudly.
+        with pytest.raises(ValueError):
+            main(["route", str(path), "--algorithm", "greedy-dme"])
 
     def test_routers_lists_registry(self, capsys):
         assert main(["routers"]) == 0

@@ -96,6 +96,60 @@ class TestEndToEndClustered:
         assert skew_report(ast.tree).max_intra_group_skew_ps <= 10.0 + 1e-6
 
 
+class TestBlockedScenarioFamilies:
+    """Acceptance: every registered router stays blockage-clean on blocked
+    scenario families (a parsed benchmark file plus two generator families)."""
+
+    def families(self, tmp_path):
+        from repro.circuits.benchmarks import (
+            blocked_instance,
+            load_benchmark,
+            ring_instance,
+            save_benchmark,
+        )
+
+        parsed_path = tmp_path / "parsed.cns"
+        save_benchmark(blocked_instance("disk", 60, seed=21, layout_size=30_000.0), parsed_path)
+        return {
+            "parsed-benchmark": load_benchmark(parsed_path),
+            "blocked": blocked_instance("blocked", 70, seed=5, layout_size=30_000.0),
+            "ring": ring_instance("ring", 50, seed=8, layout_size=30_000.0, num_blockages=4),
+        }
+
+    def test_every_router_routes_every_family_blockage_clean(self, tmp_path):
+        from repro import available_routers, get_router, validate_routes, validate_tree
+
+        for family, instance in self.families(tmp_path).items():
+            obstacles = instance.obstacle_set()
+            assert obstacles, family
+            for name in available_routers():
+                result = get_router(name, {"skew_bound_ps": 10.0}).route(instance)
+                issues = validate_tree(result.tree, instance)
+                blockage = [i for i in issues if i.code == "blockage"]
+                assert blockage == [], (family, name, blockage)
+                routes = route_edges(result.tree, obstacles=obstacles)
+                assert validate_routes(routes, obstacles) == [], (family, name)
+
+    def test_blockages_only_perturb_the_embedding(self):
+        """The bottom-up phase is blockage-blind by design: the same instance
+        with and without its blockages merges identically (same structure,
+        same passes); only embedding locations and detour-extended edge
+        lengths may differ, and they may only add wire."""
+        from repro.circuits.benchmarks import blocked_instance
+
+        blocked = blocked_instance("same", 50, seed=3, layout_size=20_000.0)
+        router = AstDme(AstDmeConfig(skew_bound_ps=10.0))
+        with_obstacles = router.route(blocked)
+        without = router.route(blocked.without_obstacles())
+        assert with_obstacles.stats.passes == without.stats.passes
+        assert len(with_obstacles.tree) == len(without.tree)
+        assert with_obstacles.wirelength >= without.wirelength
+        assert with_obstacles.wirelength == pytest.approx(
+            without.wirelength + with_obstacles.stats.obstacle_detour
+        )
+        assert without.stats.obstacle_detour == 0.0
+
+
 class TestPaperBenchmarkSmoke:
     def test_r1_full_flow(self):
         """The smallest paper benchmark end to end (kept under a few seconds)."""
