@@ -96,8 +96,19 @@ from repro.cts import ClockNode, ClockTree, ExtBst, GreedyDme, embed_tree, route
 from repro.delay import DEFAULT_TECHNOLOGY, RcTree, Technology, elmore_delays, sink_delays
 from repro.geometry import ObstacleSet, Point, Rect, Trr
 from repro.experiments import run_figure1, run_figure2, run_table1, run_table2
+from repro.opt import (
+    OptConfig,
+    OptPass,
+    OptReport,
+    Optimizer,
+    available_passes,
+    optimize_routing,
+    register_pass,
+)
 
-__version__ = "1.0.0"
+#: Single source of truth for the package version; setup.py parses this line
+#: and ``repro --version`` prints it.
+__version__ = "1.1.0"
 
 __all__ = [
     "AstDme",
@@ -112,6 +123,10 @@ __all__ = [
     "GroupAssociation",
     "InstanceSpec",
     "ObstacleSet",
+    "OptConfig",
+    "OptPass",
+    "OptReport",
+    "Optimizer",
     "Point",
     "RcTree",
     "Rect",
@@ -131,6 +146,7 @@ __all__ = [
     "WirelengthReport",
     "available_circuits",
     "available_families",
+    "available_passes",
     "available_routers",
     "clustered_groups",
     "elmore_delays",
@@ -142,8 +158,10 @@ __all__ = [
     "load_benchmark",
     "load_instance",
     "make_r_circuit",
+    "optimize_routing",
     "random_instance",
     "reduction_percent",
+    "register_pass",
     "register_router",
     "route_edges",
     "rows_to_csv",

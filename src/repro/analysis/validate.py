@@ -33,7 +33,13 @@ from repro.delay.rc_tree import RcTree
 from repro.delay.technology import Technology
 from repro.geometry.obstacles import ObstacleSet
 
-__all__ = ["ValidationIssue", "validate_tree", "validate_result", "validate_routes"]
+__all__ = [
+    "DEFAULT_LOCUS_TOLERANCE",
+    "ValidationIssue",
+    "validate_tree",
+    "validate_result",
+    "validate_routes",
+]
 
 _GEOM_TOL = 1e-6
 _DELAY_REL_TOL = 1e-9
@@ -98,13 +104,25 @@ def validate_routes(
     return issues
 
 
-def validate_result(result, intra_bound_ps: Optional[float] = None) -> List[ValidationIssue]:
+#: Default geometric tolerance (micrometres) for the off-locus check of
+#: ``validate_result``; override per call (``locus_tolerance=``), per run spec
+#: (``RunSpec.locus_tolerance``) or on the CLI (``repro route --tolerance``).
+DEFAULT_LOCUS_TOLERANCE = 1e-3
+
+
+def validate_result(
+    result,
+    intra_bound_ps: Optional[float] = None,
+    locus_tolerance: float = DEFAULT_LOCUS_TOLERANCE,
+) -> List[ValidationIssue]:
     """Validate a :class:`~repro.core.ast_dme.RoutingResult`.
 
     Args:
         result: the routing result to check.
         intra_bound_ps: when given, the intra-group skew of every group must
             not exceed this bound (in picoseconds, as in the paper).
+        locus_tolerance: geometric tolerance (micrometres) applied to the
+            off-locus placement checks.
     """
     issues = validate_tree(result.tree, result.instance)
     obstacles = (
@@ -118,13 +136,13 @@ def validate_result(result, intra_bound_ps: Optional[float] = None) -> List[Vali
     )
     for node_id, locus in result.loci.items():
         node = result.tree.node(node_id)
-        if node.location is None or locus.contains_point(node.location, tol=1e-3):
+        if node.location is None or locus.contains_point(node.location, tol=locus_tolerance):
             continue
         if (
             obstacles is not None
             and not obstacles.blocks_point(node.location)
             and obstacles.blocks_point(locus.nearest_point_to(node.location))
-            and locus.distance_to_point(node.location) <= max_escape + 1e-3
+            and locus.distance_to_point(node.location) <= max_escape + locus_tolerance
         ):
             # The locus is blockage-blind and locally unusable here: the
             # embedding legitimately escaped to the blockage boundary.

@@ -18,8 +18,10 @@ def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
     """Execute one routing run described by ``spec``.
 
     Builds the instance, constructs the router through the registry, routes,
-    and bundles skew / wirelength reports, validation issues (when
-    ``spec.validate``) and timings into a :class:`RunResult`.
+    optionally repairs the routed tree with the post-construction optimizer
+    (``spec.opt``), and bundles skew / wirelength reports, validation issues
+    (when ``spec.validate``, re-checked *after* any repair) and timings into a
+    :class:`RunResult`.
 
     Args:
         spec: the declarative run description.
@@ -32,13 +34,21 @@ def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
     router = get_router(spec.router)
     routing = router.route(instance)
 
+    opt_report = routing.opt if hasattr(routing, "opt") else None
+    if spec.opt is not None and spec.opt.enabled and opt_report is None:
+        from repro.opt.optimizer import optimize_routing
+
+        opt_report = optimize_routing(
+            routing, spec.opt, intra_bound_ps=spec.effective_bound_ps()
+        )
+        routing.opt = opt_report
+
     skew = skew_report(routing.tree)
     wire = wirelength_report(routing.tree)
-    issues = (
-        validate_result(routing, intra_bound_ps=spec.effective_bound_ps())
-        if spec.validate
-        else []
-    )
+    validate_kwargs = {"intra_bound_ps": spec.effective_bound_ps()}
+    if spec.locus_tolerance is not None:
+        validate_kwargs["locus_tolerance"] = spec.locus_tolerance
+    issues = validate_result(routing, **validate_kwargs) if spec.validate else []
     return RunResult(
         spec=spec,
         instance_name=instance.name,
@@ -51,6 +61,7 @@ def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
         issues=issues,
         route_seconds=routing.elapsed_seconds,
         total_seconds=time.perf_counter() - started,
+        opt=opt_report,
         routing=routing if keep_tree else None,
     )
 

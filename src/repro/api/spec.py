@@ -19,6 +19,8 @@ from repro.analysis.validate import ValidationIssue
 from repro.analysis.wirelength import WirelengthReport
 from repro.api.registry import RouterSpec
 from repro.circuits.instance import ClockInstance
+from repro.opt.config import OptConfig
+from repro.opt.report import OptReport
 
 __all__ = ["InstanceSpec", "RunSpec", "RunResult"]
 
@@ -261,8 +263,13 @@ class RunSpec:
 
     ``intra_bound_ps`` is the bound validation checks against; when omitted it
     defaults to the router's ``skew_bound_ps`` option (falling back to the
-    paper's 10 ps).  ``label`` is an optional caller-chosen tag carried
-    through to the :class:`RunResult` -- useful for matching up batch output.
+    paper's 10 ps).  ``opt`` enables the post-construction optimizer
+    (:mod:`repro.opt`): the runner repairs the routed tree in place and
+    reports before/after quality in :attr:`RunResult.opt`.
+    ``locus_tolerance`` loosens/tightens the off-locus placement check of
+    ``validate_result`` (micrometres).  ``label`` is an optional caller-chosen
+    tag carried through to the :class:`RunResult` -- useful for matching up
+    batch output.
     """
 
     instance: InstanceSpec
@@ -270,6 +277,8 @@ class RunSpec:
     validate: bool = False
     intra_bound_ps: Optional[float] = None
     label: Optional[str] = None
+    opt: Optional[OptConfig] = None
+    locus_tolerance: Optional[float] = None
 
     def effective_bound_ps(self) -> float:
         """The intra-group bound used for validation.
@@ -301,23 +310,33 @@ class RunSpec:
             data["intra_bound_ps"] = self.intra_bound_ps
         if self.label is not None:
             data["label"] = self.label
+        if self.opt is not None:
+            data["opt"] = self.opt.to_dict()
+        if self.locus_tolerance is not None:
+            data["locus_tolerance"] = self.locus_tolerance
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
-        known = {"instance", "router", "validate", "intra_bound_ps", "label"}
+        known = {
+            "instance", "router", "validate", "intra_bound_ps", "label",
+            "opt", "locus_tolerance",
+        }
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(
                 "unknown run spec keys %s; valid keys: %s"
                 % (unknown, ", ".join(sorted(known)))
             )
+        opt = data.get("opt")
         return cls(
             instance=InstanceSpec.from_dict(data["instance"]),
             router=RouterSpec.from_dict(data.get("router", {"name": "ast-dme"})),
             validate=bool(data.get("validate", False)),
             intra_bound_ps=data.get("intra_bound_ps"),
             label=data.get("label"),
+            opt=None if opt is None else OptConfig.from_dict(opt),
+            locus_tolerance=data.get("locus_tolerance"),
         )
 
 
@@ -390,6 +409,8 @@ class RunResult:
     route_seconds: float = 0.0
     total_seconds: float = 0.0
     error: Optional[str] = None
+    #: Post-construction optimizer report (when the spec enabled ``opt``).
+    opt: Optional[OptReport] = None
     #: The full RoutingResult (tree, stats, loci); only populated by
     #: ``run(spec, keep_tree=True)`` and never serialised.
     routing: Optional[Any] = field(default=None, compare=False, repr=False)
@@ -427,6 +448,7 @@ class RunResult:
             "route_seconds": self.route_seconds,
             "total_seconds": self.total_seconds,
             "error": self.error,
+            "opt": None if self.opt is None else self.opt.to_dict(),
             "ok": self.ok,
             "global_skew_ps": self.global_skew_ps,
             "max_intra_group_skew_ps": self.max_intra_group_skew_ps,
@@ -451,4 +473,7 @@ class RunResult:
             route_seconds=data.get("route_seconds", 0.0),
             total_seconds=data.get("total_seconds", 0.0),
             error=data.get("error"),
+            opt=None
+            if data.get("opt") is None
+            else OptReport.from_dict(data["opt"]),
         )

@@ -16,7 +16,11 @@ Three kinds of rows are produced per instance size:
   speed-up *gates* measure;
 * one obstacle-scenario row per router on the ``blocked`` generator family
   (uniform sinks dodging macro blockages) -- the obstacle-aware embedding
-  path, tracked with the same wall/RSS/quality columns.
+  path, tracked with the same wall/RSS/quality columns.  These rows run with
+  the post-construction repair (:mod:`repro.opt`) enabled and carry pre/post
+  skew-violation counts plus the repaired wirelength; a *repair gate* per
+  size asserts the repair eliminates at least 90% of the pre-repair ``skew``
+  violations.
 
 Each run executes in a fresh worker process so ``ru_maxrss`` is a true
 per-run peak and runs cannot warm each other's caches; runs execute
@@ -38,6 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.api.registry import RouterSpec
 from repro.api.runner import run
 from repro.api.spec import InstanceSpec, RunSpec
+from repro.opt.config import OptConfig
 
 __all__ = [
     "SCHEMA",
@@ -51,8 +56,10 @@ __all__ = [
 ]
 
 #: Schema identifier stamped into every payload this harness writes.
-#: v2 adds the ``family`` row column (``uniform`` / ``blocked`` scenarios).
-SCHEMA = "repro-bench/v2"
+#: v2 added the ``family`` row column (``uniform`` / ``blocked`` scenarios);
+#: v3 adds the repair columns (``repaired``, ``skew_violations_pre``/``_post``,
+#: ``repaired_wirelength``) and typed gates (``kind``: speedup / repair).
+SCHEMA = "repro-bench/v3"
 
 #: Default sink counts of the scaling suite (the perf gate runs at the last).
 DEFAULT_SIZES = (500, 2000, 8000)
@@ -64,6 +71,10 @@ SMOKE_SIZES = (60, 120)
 #: the scalar seed reference on the single-merge greedy-DME configuration.
 GATE_SPEEDUP = 5.0
 
+#: Fraction of pre-repair skew violations that may survive the repair pass on
+#: the blocked scenario rows (the repair gate demands >= 90% elimination).
+GATE_REPAIR_MAX_SURVIVING = 0.1
+
 #: Keys every bench row carries (the JSON schema, enforced by
 #: :func:`validate_bench_payload`).
 ROW_KEYS = frozenset(
@@ -73,14 +84,22 @@ ROW_KEYS = frozenset(
         "total_seconds", "peak_rss_mb", "wirelength", "global_skew_ps",
         "max_intra_group_skew_ps", "num_nodes", "passes",
         "neighbor_full_rebuilds", "neighbor_incremental_passes",
-        "obstacle_detour", "ok", "error",
+        "obstacle_detour", "repaired", "skew_violations_pre",
+        "skew_violations_post", "repaired_wirelength", "ok", "error",
     }
 )
 
-GATE_KEYS = frozenset(
+SPEEDUP_GATE_KEYS = frozenset(
     {
-        "name", "baseline_label", "candidate_label", "identity_label",
+        "kind", "name", "baseline_label", "candidate_label", "identity_label",
         "speedup", "threshold", "identical_results", "passed",
+    }
+)
+
+REPAIR_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "row_labels", "violations_pre", "violations_post",
+        "max_surviving_fraction", "passed",
     }
 )
 
@@ -134,7 +153,9 @@ def scaling_configs(
                 }
             )
         # Obstacle-scenario rows: the blocked family through every router
-        # (macro blockages exercise the obstacle-aware embedding path).
+        # (macro blockages exercise the obstacle-aware embedding path), with
+        # the post-construction repair enabled -- the pre/post quality columns
+        # and the repair gates come from these rows.
         for router, groups in (("ast-dme", 8), ("greedy-dme", 1), ("ext-bst", 1)):
             label = "%s-blocked-n%d" % (router, n)
             configs.append(
@@ -149,6 +170,7 @@ def scaling_configs(
                         ),
                         router=RouterSpec(router, {"skew_bound_ps": 10.0}),
                         label=label,
+                        opt=OptConfig(enabled=True),
                     ).to_dict(),
                 }
             )
@@ -182,6 +204,10 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         "neighbor_full_rebuilds": 0,
         "neighbor_incremental_passes": 0,
         "obstacle_detour": 0.0,
+        "repaired": spec.opt is not None and spec.opt.enabled,
+        "skew_violations_pre": 0,
+        "skew_violations_post": 0,
+        "repaired_wirelength": 0.0,
         "ok": False,
         "error": None,
     }
@@ -191,6 +217,18 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         row["error"] = "%s: %s" % (type(exc).__name__, exc)
         return row
     stats = result.routing.stats
+    # The ``wirelength`` column stays comparable across schema versions: for
+    # repaired rows it is the *routed* (pre-repair) wirelength and the final
+    # tree's total lands in ``repaired_wirelength``.
+    wirelength = result.wirelength
+    repaired_wirelength = result.wirelength
+    if result.opt is not None:
+        wirelength = result.opt.wirelength_before
+        repaired_wirelength = result.opt.wirelength_after
+        row.update(
+            skew_violations_pre=result.opt.skew_violations_before,
+            skew_violations_post=result.opt.skew_violations_after,
+        )
     row.update(
         wall_seconds=result.route_seconds,
         select_seconds=stats.select_seconds,
@@ -198,7 +236,7 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         # ru_maxrss is KiB on Linux; the fresh worker process makes it a true
         # per-run peak rather than the high-water mark of the whole suite.
         peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
-        wirelength=result.wirelength,
+        wirelength=wirelength,
         global_skew_ps=result.global_skew_ps,
         max_intra_group_skew_ps=result.max_intra_group_skew_ps,
         num_nodes=result.num_nodes,
@@ -206,6 +244,7 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         neighbor_full_rebuilds=stats.neighbor_full_rebuilds,
         neighbor_incremental_passes=stats.neighbor_incremental_passes,
         obstacle_detour=stats.obstacle_detour,
+        repaired_wirelength=repaired_wirelength,
         ok=True,
     )
     return row
@@ -248,6 +287,7 @@ def _gates(
         required = threshold if n == largest else 0.0
         gates.append(
             {
+                "kind": "speedup",
                 "name": "greedy-dme-single-n%d" % n,
                 "baseline_label": baseline["label"],
                 "candidate_label": candidate["label"],
@@ -256,6 +296,37 @@ def _gates(
                 "threshold": required,
                 "identical_results": identical,
                 "passed": usable and identical and speedup >= required,
+            }
+        )
+    gates.extend(_repair_gates(rows, sizes))
+    return gates
+
+
+def _repair_gates(rows: List[Dict[str, Any]], sizes: Sequence[int]) -> List[Dict[str, Any]]:
+    """One repair gate per size: the blocked rows' post-repair ``skew``
+    violations must be at most ``GATE_REPAIR_MAX_SURVIVING`` of the pre-repair
+    count (>= 90% eliminated)."""
+    gates: List[Dict[str, Any]] = []
+    for n in sizes:
+        blocked = [
+            row
+            for row in rows
+            if row["family"] == "blocked" and row["num_sinks"] == n and row["repaired"]
+        ]
+        if not blocked:
+            continue
+        usable = all(row["ok"] for row in blocked)
+        pre = sum(row["skew_violations_pre"] for row in blocked)
+        post = sum(row["skew_violations_post"] for row in blocked)
+        gates.append(
+            {
+                "kind": "repair",
+                "name": "blocked-repair-n%d" % n,
+                "row_labels": [row["label"] for row in blocked],
+                "violations_pre": pre,
+                "violations_post": post,
+                "max_surviving_fraction": GATE_REPAIR_MAX_SURVIVING,
+                "passed": usable and post <= GATE_REPAIR_MAX_SURVIVING * pre,
             }
         )
     return gates
@@ -334,7 +405,16 @@ def validate_bench_payload(payload: Any) -> None:
     if not isinstance(payload["gates"], list):
         raise ValueError("bench payload must contain a 'gates' list")
     for gate in payload["gates"]:
-        missing = GATE_KEYS - set(gate)
+        kind = gate.get("kind")
+        if kind == "speedup":
+            expected = SPEEDUP_GATE_KEYS
+        elif kind == "repair":
+            expected = REPAIR_GATE_KEYS
+        else:
+            raise ValueError(
+                "bench gate %r has unknown kind %r" % (gate.get("name"), kind)
+            )
+        missing = expected - set(gate)
         if missing:
             raise ValueError(
                 "bench gate %r misses keys %s" % (gate.get("name"), sorted(missing))
@@ -361,6 +441,18 @@ def format_rows(payload: Dict[str, Any]) -> str:
             )
         )
     for gate in payload["gates"]:
+        if gate["kind"] == "repair":
+            lines.append(
+                "gate %-31s skew violations %d -> %d (<= %.0f%% surviving)  %s"
+                % (
+                    gate["name"],
+                    gate["violations_pre"],
+                    gate["violations_post"],
+                    100.0 * gate["max_surviving_fraction"],
+                    "PASS" if gate["passed"] else "FAIL",
+                )
+            )
+            continue
         lines.append(
             "gate %-31s %9.2fx (>= %.1fx)  identical=%s  %s"
             % (

@@ -24,7 +24,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.circuits.instance import ClockInstance
-from repro.geometry.point import Point
 
 __all__ = [
     "clustered_groups",

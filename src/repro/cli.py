@@ -5,7 +5,9 @@ Subcommands::
     repro generate  -- generate a benchmark instance file (named circuit or
                        synthetic scenario family, optionally with blockages)
     repro route     -- route an instance file and print a summary
-                       (``--benchmark`` parses ISPD-CNS-style files)
+                       (``--benchmark`` parses ISPD-CNS-style files;
+                       ``--repair`` runs the post-construction optimizer)
+    repro optimize  -- route an instance, repair it, report before/after
     repro batch     -- execute a JSON list of run specs (optionally parallel)
     repro routers   -- list the routers available in the registry
     repro bench     -- run the perf-gate scaling suite, write BENCH_*.json
@@ -37,6 +39,7 @@ from repro.api.batch import BatchRunner
 from repro.api.registry import RouterSpec, available_routers, router_description
 from repro.api.runner import run
 from repro.api.spec import InstanceSpec, RunResult, RunSpec
+from repro.opt.config import OptConfig
 from repro.circuits.benchmarks import available_families
 from repro.circuits.io import save_instance
 from repro.circuits.r_circuits import available_circuits
@@ -51,9 +54,14 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of the ``repro`` command."""
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Associative skew clock routing (AST-DME) reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version="%(prog)s " + repro.__version__
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -116,6 +124,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument("--validate", action="store_true", help="run full validation")
     route.add_argument(
+        "--repair",
+        action="store_true",
+        help="run the post-construction optimizer (skew repair via wire "
+        "snaking, detour-aware re-embedding, wirelength recovery) on the "
+        "routed tree",
+    )
+    route.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="off-locus placement tolerance for validation, in micrometres "
+        "(default: 0.001)",
+    )
+    route.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON summary"
+    )
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="route an instance, repair it with the optimizer and report "
+        "before/after quality",
+    )
+    optimize.add_argument("instance", help="instance file written by 'repro generate'")
+    optimize.add_argument(
+        "--benchmark",
+        action="store_true",
+        help="treat the instance file as an ISPD-CNS-style benchmark",
+    )
+    optimize.add_argument(
+        "--algorithm", choices=available_routers(), default="ast-dme"
+    )
+    optimize.add_argument(
+        "--bound-ps",
+        type=float,
+        default=None,
+        help="intra-group skew bound the router and the repair target "
+        "(default: 10.0)",
+    )
+    optimize.add_argument(
+        "--max-iterations", type=int, default=None, help="optimizer iteration cap"
+    )
+    optimize.add_argument(
+        "--passes",
+        nargs="+",
+        default=None,
+        metavar="PASS",
+        help="optimization passes to run, in order (default: reembed "
+        "skew-repair wirelength-recovery)",
+    )
+    optimize.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="off-locus placement tolerance for validation, in micrometres",
+    )
+    optimize.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON summary"
     )
 
@@ -224,34 +288,87 @@ def _print_run_result(result: RunResult) -> None:
     print("cpu            : %.2f s" % result.route_seconds)
 
 
-def _cmd_route(args: argparse.Namespace) -> int:
-    # Only forward the bound when the user asked for one: third-party routers
-    # need not understand skew_bound_ps, and the built-ins default to 10 ps
-    # anyway.  Validation uses RunSpec.effective_bound_ps(), which falls back
-    # to the same 10 ps default.
-    options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
-    instance_spec = (
+def _instance_spec_from_args(args: argparse.Namespace) -> InstanceSpec:
+    return (
         InstanceSpec.from_benchmark(args.instance)
         if args.benchmark
         else InstanceSpec.from_file(args.instance)
     )
-    spec = RunSpec(
-        instance=instance_spec,
-        router=RouterSpec(args.algorithm, options),
-        validate=args.validate,
-    )
+
+
+def _run_and_print(spec: RunSpec, as_json: bool) -> int:
+    """Execute ``spec`` and print the summary (shared by route / optimize)."""
     result = run(spec)
-    if args.json:
+    if as_json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0 if result.ok else 1
     _print_run_result(result)
-    if args.validate:
+    if result.opt is not None:
+        _print_opt_report(result.opt)
+    if spec.validate:
         if result.issues:
             for issue in result.issues:
                 print("VALIDATION: %s" % issue)
             return 1
         print("validation     : ok")
     return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    # Only forward the bound when the user asked for one: third-party routers
+    # need not understand skew_bound_ps, and the built-ins default to 10 ps
+    # anyway.  Validation uses RunSpec.effective_bound_ps(), which falls back
+    # to the same 10 ps default.
+    options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
+    spec = RunSpec(
+        instance=_instance_spec_from_args(args),
+        router=RouterSpec(args.algorithm, options),
+        validate=args.validate,
+        opt=OptConfig(enabled=True) if args.repair else None,
+        locus_tolerance=args.tolerance,
+    )
+    return _run_and_print(spec, args.json)
+
+
+def _print_opt_report(report) -> None:
+    print("repair         : %s after %d iteration(s)"
+          % ("converged" if report.converged else "NOT converged", report.iterations))
+    print("  skew         : %.2f -> %.2f ps (bound %.1f ps)"
+          % (report.max_intra_skew_before_ps, report.max_intra_skew_after_ps,
+             report.bound_ps))
+    print("  violations   : %d -> %d group(s)"
+          % (report.skew_violations_before, report.skew_violations_after))
+    print("  wirelength   : %.0f -> %.0f (%+.2f%%)"
+          % (report.wirelength_before, report.wirelength_after,
+             100.0 * report.wire_added / report.wirelength_before
+             if report.wirelength_before else 0.0))
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    # `repro optimize` is `repro route --repair --validate` plus the optimizer
+    # knobs that only make sense when repairing is the point.
+    options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
+    opt_kwargs = {"enabled": True}
+    if args.max_iterations is not None:
+        opt_kwargs["max_iterations"] = args.max_iterations
+    if args.passes is not None:
+        from repro.opt import available_passes
+
+        unknown = sorted(set(args.passes) - set(available_passes()))
+        if unknown:
+            raise SystemExit(
+                "unknown optimization pass(es) %s; available: %s"
+                % (", ".join(unknown), ", ".join(available_passes()))
+            )
+        opt_kwargs["passes"] = tuple(args.passes)
+    spec = RunSpec(
+        instance=_instance_spec_from_args(args),
+        router=RouterSpec(args.algorithm, options),
+        validate=True,
+        opt=OptConfig(**opt_kwargs),
+        locus_tolerance=args.tolerance,
+    )
+    return _run_and_print(spec, args.json)
 
 
 def _load_batch_specs(path: str) -> List[RunSpec]:
@@ -372,6 +489,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "route":
         return _cmd_route(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
     if args.command == "batch":
         return _cmd_batch(args)
     if args.command == "routers":

@@ -26,7 +26,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.opt.config import OptConfig
+    from repro.opt.report import OptReport
 
 from repro.circuits.instance import ClockInstance
 from repro.core.group_constraints import GroupAssociation, SkewConstraints
@@ -71,6 +75,12 @@ class AstDmeConfig:
     #: repro.core.lazy_sdr).  Small values guarantee later shared-group merges
     #: stay feasible; large values chase wirelength more aggressively.
     sdr_skew_budget: float = 0.45
+    #: Post-construction optimization (repro.opt): when set and enabled, the
+    #: router runs the configured pass pipeline -- detour-aware re-embedding,
+    #: skew repair via wire snaking, wirelength recovery -- on the finished
+    #: tree and attaches the OptReport to the RoutingResult.  ``None`` (the
+    #: default) keeps routing bit-identical to previous releases.
+    opt: Optional["OptConfig"] = None
 
     def order_policy(self) -> MergeOrderPolicy:
         """The merging-order policy implied by this configuration."""
@@ -129,6 +139,12 @@ class RoutingResult:
     association: GroupAssociation
     loci: Dict[int, Trr]
     elapsed_seconds: float
+    #: Report of the post-construction optimizer (repro.opt), when it ran.
+    opt: Optional["OptReport"] = None
+    #: Whether the run ignored the instance's grouping (the EXT-BST /
+    #: greedy-DME baselines); consumers like the optimizer must then treat
+    #: all sinks as one group.
+    single_group: bool = False
 
     @property
     def wirelength(self) -> float:
@@ -262,6 +278,23 @@ class AstDme:
         stats.obstacle_detour = embed_tree(tree, loci, obstacles=obstacles)
         stats.neighbor_full_rebuilds = selector.full_rebuilds
         stats.neighbor_incremental_passes = selector.incremental_passes
+
+        opt_report = None
+        if self.config.opt is not None and self.config.opt.enabled:
+            from repro.opt.optimizer import Optimizer
+
+            bound_fn = constraints.bound_for
+            if self.config.opt.skew_bound_ps is not None:
+                override = Technology.ps_to_internal(self.config.opt.skew_bound_ps)
+                bound_fn = lambda group: override  # noqa: E731 - trivial closure
+            opt_report = Optimizer(self.config.opt).optimize(
+                tree,
+                bound_for=bound_fn,
+                obstacles=obstacles,
+                loci=loci,
+                single_group=single_group,
+            )
+
         elapsed = time.perf_counter() - start
         return RoutingResult(
             tree=tree,
@@ -270,6 +303,8 @@ class AstDme:
             association=association,
             loci=loci,
             elapsed_seconds=elapsed,
+            opt=opt_report,
+            single_group=single_group,
         )
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ which is exactly what the test-suite asserts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import networkx as nx
 

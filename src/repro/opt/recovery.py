@@ -1,0 +1,98 @@
+"""Wirelength recovery: trim snaking that the other passes made redundant.
+
+Re-embedding shrinks required detours and skew repair can overshoot an edge
+that a later, higher-leverage extension made redundant; both leave booked
+lengths above what geometry and the skew bound still need.  This pass walks
+the tree leaves-first and shortens every over-booked edge as far as the
+per-group skew bound allows: an edge may give up wire only while every sink
+below it stays above its group's delay floor (``group hi - bound``), with the
+delay drop computed exactly for the edge and conservatively for the
+capacitance the trim removes from the upstream path.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict
+
+from repro.opt.base import OptContext
+from repro.opt.report import PassOutcome
+
+__all__ = ["WirelengthRecoveryPass"]
+
+_LEN_TOL = 1e-6
+#: Fraction of the computed slack budget a trim may spend; the remainder
+#: absorbs what the closed form does not model -- chiefly that trims elsewhere
+#: lower the group roofs the slack was measured against.
+_BUDGET_SAFETY = 0.5
+
+
+class WirelengthRecoveryPass:
+    """Shorten over-booked edges while every group stays within its bound."""
+
+    name = "wirelength-recovery"
+
+    def run(self, ctx: OptContext, iteration: int) -> PassOutcome:
+        started = time.perf_counter()
+        outcome = PassOutcome(name=self.name, iteration=iteration)
+        tree = ctx.tree
+        tech = ctx.technology
+        r = tech.unit_resistance
+        c = tech.unit_capacitance
+        required = ctx.required_lengths()
+        delays = ctx.sink_delays()
+        caps = ctx.subtree_capacitances()
+
+        floors: Dict[int, float] = {}
+        for sink in tree.sinks():
+            group = ctx.group_of(sink)
+            floors[group] = max(
+                floors.get(group, -math.inf), delays[sink.node_id] - ctx.bound_for(group)
+            )
+
+        upstream_r: Dict[int, float] = {tree.root().node_id: 0.0}
+        for nid in tree.topological_order():
+            for cid in tree.node(nid).children:
+                upstream_r[cid] = upstream_r[nid] + r * tree.node(cid).edge_length
+
+        # Leaves-first: a child's remaining slack is known before its parent
+        # decides how much the shared edge above them may give up.
+        slack: Dict[int, float] = {}
+        for nid in tree.reverse_topological_order():
+            node = tree.node(nid)
+            if node.is_sink:
+                slack[nid] = delays[nid] - floors[ctx.group_of(node)]
+            else:
+                slack[nid] = min((slack[cid] for cid in node.children), default=math.inf)
+            if node.parent is None or nid not in required:
+                continue
+            avail = node.edge_length - required[nid]
+            budget = slack[nid] * _BUDGET_SAFETY
+            if avail <= _LEN_TOL or budget <= 0.0:
+                continue
+            length = node.edge_length
+            downstream = caps[nid]
+            # Delay drop of a trim y for the sinks below: the edge's own
+            # Elmore term plus (upper bound) the removed wire capacitance seen
+            # through the full upstream resistance.
+            linear = r * (c * length + downstream) + upstream_r[node.parent] * c
+            discriminant = linear * linear - 2.0 * r * c * budget
+            if discriminant < 0.0:
+                y = avail
+            else:
+                y = min(avail, (linear - math.sqrt(discriminant)) / (r * c))
+            if y <= _LEN_TOL:
+                continue
+            drop = (
+                r * y * (c * length + downstream)
+                - r * c * y * y / 2.0
+                + upstream_r[node.parent] * c * y
+            )
+            tree.set_edge_length(nid, length - y)
+            ctx.spend_wire(-y)
+            outcome.wire_trimmed += y
+            outcome.edges_modified += 1
+            slack[nid] -= drop
+        outcome.seconds = time.perf_counter() - started
+        return outcome

@@ -390,19 +390,26 @@ class TestBatchRunner:
 # ----------------------------------------------------------------------
 # Config copying regressions (the ast_config / shim bug class)
 # ----------------------------------------------------------------------
-#: Non-default values for choice-valued (string) config fields.
-_CHANGED_CHOICES = {"neighbor_strategy": "scalar"}
+#: Non-default values for choice-valued (string) and structured config fields.
+def _changed_choices():
+    from repro.opt import OptConfig
+
+    return {
+        "neighbor_strategy": "scalar",
+        "opt": OptConfig(enabled=True, max_iterations=2),
+    }
 
 
 def _config_with_every_field_changed() -> AstDmeConfig:
     """An AstDmeConfig whose every field differs from the default."""
     defaults = AstDmeConfig()
+    choices = _changed_choices()
     changed = {}
     for field_ in fields(AstDmeConfig):
         value = getattr(defaults, field_.name)
-        if field_.name in _CHANGED_CHOICES:
-            assert _CHANGED_CHOICES[field_.name] != value
-            changed[field_.name] = _CHANGED_CHOICES[field_.name]
+        if field_.name in choices:
+            assert choices[field_.name] != value
+            changed[field_.name] = choices[field_.name]
         elif isinstance(value, bool):
             changed[field_.name] = not value
         elif isinstance(value, float):

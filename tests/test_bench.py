@@ -77,12 +77,32 @@ class TestRunSuite:
             assert row["num_nodes"] > 0
 
     def test_gates_identical_results(self, smoke_payload):
-        assert smoke_payload["gates"], "suite must derive at least one gate"
-        for gate in smoke_payload["gates"]:
+        speedup_gates = [g for g in smoke_payload["gates"] if g["kind"] == "speedup"]
+        assert speedup_gates, "suite must derive at least one speedup gate"
+        for gate in speedup_gates:
             assert gate["identical_results"], (
                 "strategies must route identical trees: %s" % gate
             )
             assert gate["passed"]
+
+    def test_repair_gates_pass(self, smoke_payload):
+        repair_gates = [g for g in smoke_payload["gates"] if g["kind"] == "repair"]
+        assert repair_gates, "suite must derive one repair gate per size"
+        for gate in repair_gates:
+            assert gate["passed"], gate
+            assert gate["violations_post"] <= 0.1 * gate["violations_pre"] or (
+                gate["violations_pre"] == 0
+            )
+
+    def test_blocked_rows_carry_repair_columns(self, smoke_payload):
+        for row in smoke_payload["rows"]:
+            if row["family"] == "blocked":
+                assert row["repaired"] is True
+                assert row["repaired_wirelength"] > 0.0
+                assert row["skew_violations_post"] <= row["skew_violations_pre"]
+            else:
+                assert row["repaired"] is False
+                assert row["repaired_wirelength"] == row["wirelength"]
 
     def test_single_merge_strategies_agree_exactly(self, smoke_payload):
         rows = {

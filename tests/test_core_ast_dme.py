@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.skew import skew_report
 from repro.analysis.validate import validate_result
 from repro.circuits.generator import random_instance
-from repro.circuits.grouping import striped_groups
 from repro.core.ast_dme import AstDme, AstDmeConfig
 from repro.delay.technology import Technology
 

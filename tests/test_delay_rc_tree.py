@@ -86,3 +86,53 @@ class TestOracleAgainstFastEvaluator:
         rc.add_wire("b", "root", 700.0)
         graph = rc.graph()
         assert graph.number_of_edges() == graph.number_of_nodes() - 1
+
+    def test_from_clock_tree_on_obstacle_detoured_route(self, tech):
+        """The oracle must track booked lengths, not geometry, when the
+        obstacle-aware embedding extends edges beyond the Manhattan distance
+        for blockage detours."""
+        from repro.api.registry import RouterSpec
+        from repro.api.runner import run
+        from repro.api.spec import InstanceSpec, RunSpec
+
+        spec = RunSpec(
+            instance=InstanceSpec.from_family("blocked", 40, seed=3),
+            router=RouterSpec("greedy-dme"),
+        )
+        result = run(spec, keep_tree=True)
+        tree = result.routing.tree
+        # The embedding really did extend at least one edge for a detour.
+        extended = [
+            node
+            for node in tree.nodes()
+            if node.parent is not None
+            and node.edge_length
+            > node.location.distance_to(tree.node(node.parent).location) + 1e-6
+        ]
+        assert result.routing.stats.obstacle_detour > 0.0
+        assert extended, "expected at least one detour-extended edge"
+
+        fast = sink_delays(tree)
+        oracle = RcTree.from_clock_tree(tree).elmore_delays()
+        for sink_id, fast_value in fast.items():
+            assert oracle[sink_id] == pytest.approx(fast_value, rel=1e-9)
+
+    def test_from_clock_tree_matches_fast_elmore_after_repair(self, tech):
+        """The oracle agreement must survive the post-construction optimizer
+        (snaking extensions and trims change lengths, never the contract)."""
+        from repro.api.registry import RouterSpec
+        from repro.api.runner import run
+        from repro.api.spec import InstanceSpec, RunSpec
+        from repro.opt import OptConfig
+
+        spec = RunSpec(
+            instance=InstanceSpec.from_family("blocked", 40, seed=3),
+            router=RouterSpec("greedy-dme", {"skew_bound_ps": 10.0}),
+            opt=OptConfig(enabled=True, verify_oracle=False),
+        )
+        result = run(spec, keep_tree=True)
+        tree = result.routing.tree
+        fast = sink_delays(tree)
+        oracle = RcTree.from_clock_tree(tree).elmore_delays()
+        for sink_id, fast_value in fast.items():
+            assert oracle[sink_id] == pytest.approx(fast_value, rel=1e-9)

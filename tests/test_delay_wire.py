@@ -66,3 +66,26 @@ class TestInversion:
     def test_negative_target_raises(self, tech):
         with pytest.raises(ValueError):
             wire_length_for_delay(-1.0, 10.0, tech)
+
+    def test_zero_downstream_cap(self, tech):
+        # With C = 0 the equation degenerates to (r*c/2) L^2 = target; the
+        # closed form must still return the positive root, not 0/0.
+        target = 500.0
+        length = wire_length_for_delay(target, 0.0, tech)
+        assert length > 0.0
+        assert wire_delay(length, 0.0, tech) == pytest.approx(target, rel=1e-12)
+
+    def test_zero_target_with_zero_cap(self, tech):
+        assert wire_length_for_delay(0.0, 0.0, tech) == 0.0
+
+    def test_tiny_target_with_zero_cap_stays_finite(self, tech):
+        length = wire_length_for_delay(1e-12, 0.0, tech)
+        assert 0.0 < length < 1.0
+
+    def test_large_cap_is_linear_regime(self, tech):
+        # With a huge downstream cap the quadratic term vanishes: the length
+        # approaches target / (r * C).  The closed form cancels catastrophically
+        # in this regime (-b + sqrt(b^2 + eps)), so only ~3 digits survive.
+        target, cap = 1000.0, 1e9
+        length = wire_length_for_delay(target, cap, tech)
+        assert length == pytest.approx(target / (tech.unit_resistance * cap), rel=5e-3)
