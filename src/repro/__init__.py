@@ -105,6 +105,13 @@ from repro.opt import (
     optimize_routing,
     register_pass,
 )
+from repro.service import (
+    CacheStats,
+    RunCache,
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+)
 
 #: Single source of truth for the package version; setup.py parses this line
 #: and ``repro --version`` prints it.
@@ -114,6 +121,7 @@ __all__ = [
     "AstDme",
     "AstDmeConfig",
     "BatchRunner",
+    "CacheStats",
     "ClockInstance",
     "ClockNode",
     "ClockTree",
@@ -133,8 +141,12 @@ __all__ = [
     "Router",
     "RouterSpec",
     "RoutingResult",
+    "RunCache",
     "RunResult",
     "RunSpec",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
     "Sink",
     "SkewConstraints",
     "SkewReport",

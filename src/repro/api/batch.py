@@ -23,7 +23,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.api import registry
 from repro.api.runner import run_safe
@@ -72,14 +72,33 @@ class BatchRunner:
         self.workers = workers
 
     # ------------------------------------------------------------------
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute every spec and return results in spec order."""
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[Callable[[int, RunResult], None]] = None,
+    ) -> List[RunResult]:
+        """Execute every spec and return results in spec order.
+
+        Args:
+            on_result: optional progress callback invoked once per spec, in
+                *completion* order, with ``(index, result)`` where ``index``
+                is the spec's position in ``specs``.  The returned list stays
+                in spec order regardless.  This is what lets a server stream
+                batch progress as each run finishes.  The callback runs in the
+                submitting thread (never in a worker process).
+        """
         specs = list(specs)
         if not specs:
             return []
         workers = self._effective_workers(len(specs))
         if workers <= 1:
-            return [run_safe(spec) for spec in specs]
+            results_serial: List[RunResult] = []
+            for index, spec in enumerate(specs):
+                result = run_safe(spec)
+                results_serial.append(result)
+                if on_result is not None:
+                    on_result(index, result)
+            return results_serial
         # Indexed collection keeps results[i] <-> specs[i] deterministic
         # regardless of completion order, and lets the fallback below re-run
         # only what the pool did not finish.
@@ -95,7 +114,10 @@ class BatchRunner:
                     for index, spec in enumerate(specs)
                 }
                 for future in as_completed(futures):
-                    results[futures[future]] = future.result()
+                    index = futures[future]
+                    results[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, results[index])
         except (OSError, BrokenProcessPool):
             # No process pool available (restricted environment), or a worker
             # died mid-batch (OOM kill, native crash).  Completed results are
@@ -105,6 +127,8 @@ class BatchRunner:
         for index, spec in enumerate(specs):
             if results[index] is None:
                 results[index] = run_safe(spec)
+                if on_result is not None:
+                    on_result(index, results[index])
         return results
 
     def _effective_workers(self, num_specs: int) -> int:

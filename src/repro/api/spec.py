@@ -11,6 +11,8 @@ cached, diffed, shipped across processes and served over the wire.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -299,6 +301,22 @@ class RunSpec:
         default = options.get("default_bound_ps")
         bounds.append(uniform if default is None else float(default))
         return max(bounds)
+
+    def cache_key(self) -> str:
+        """Stable content-addressed identity of this spec (a sha256 hex digest).
+
+        The key is the sha256 of the canonical JSON form of :meth:`to_dict`
+        (sorted keys, compact separators), so it is stable across processes
+        and Python versions, survives ``from_dict(to_dict(...))`` round-trips,
+        and changes whenever *any* field -- including nested router options or
+        ``opt`` knobs -- changes.  Two specs describing the same run therefore
+        share a key, which is what the :mod:`repro.service` result cache is
+        addressed by.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {

@@ -3,9 +3,13 @@
 Runs a scaling suite of routing benchmarks -- seeded random instances at
 growing sink counts, each routed by every registered algorithm through the
 :mod:`repro.api` facade -- and writes a ``BENCH_*.json`` trajectory file with
-wall-time, peak-RSS and quality (wirelength / skew) columns.
+wall-time, peak-RSS and quality (wirelength / skew) columns.  Since schema v4
+the harness also owns the *serving-side* suite (``--suite service``): the
+:mod:`repro.service` load harness contributes ``kind == "service"`` rows
+(requests/sec, p50/p99 latency, cache hit rate) and gates to the same
+payload; ``--suite all`` runs both.
 
-Three kinds of rows are produced per instance size:
+Three kinds of routing rows are produced per instance size:
 
 * one row per router (``ast-dme`` on an 8-group intermingled instance,
   ``greedy-dme`` and ``ext-bst`` on the ungrouped instance) with the default
@@ -48,6 +52,7 @@ __all__ = [
     "SCHEMA",
     "DEFAULT_SIZES",
     "SMOKE_SIZES",
+    "SUITES",
     "GATE_SPEEDUP",
     "scaling_configs",
     "run_suite",
@@ -57,9 +62,15 @@ __all__ = [
 
 #: Schema identifier stamped into every payload this harness writes.
 #: v2 added the ``family`` row column (``uniform`` / ``blocked`` scenarios);
-#: v3 adds the repair columns (``repaired``, ``skew_violations_pre``/``_post``,
-#: ``repaired_wirelength``) and typed gates (``kind``: speedup / repair).
-SCHEMA = "repro-bench/v3"
+#: v3 added the repair columns (``repaired``, ``skew_violations_pre``/``_post``,
+#: ``repaired_wirelength``) and typed gates (``kind``: speedup / repair);
+#: v4 adds the ``kind`` row discriminator (``routing`` / ``service``), the
+#: top-level ``suite`` / ``smoke`` / ``service_sizes`` fields and the
+#: serving-side rows + gates of ``repro bench --suite service``.
+SCHEMA = "repro-bench/v4"
+
+#: The suites ``repro bench --suite`` can run.
+SUITES = ("scaling", "service", "all")
 
 #: Default sink counts of the scaling suite (the perf gate runs at the last).
 DEFAULT_SIZES = (500, 2000, 8000)
@@ -75,17 +86,28 @@ GATE_SPEEDUP = 5.0
 #: the blocked scenario rows (the repair gate demands >= 90% elimination).
 GATE_REPAIR_MAX_SURVIVING = 0.1
 
-#: Keys every bench row carries (the JSON schema, enforced by
-#: :func:`validate_bench_payload`).
+#: Keys every ``kind == "routing"`` bench row carries (the JSON schema,
+#: enforced by :func:`validate_bench_payload`).
 ROW_KEYS = frozenset(
     {
-        "label", "router", "num_sinks", "groups", "seed", "order", "family",
-        "neighbor_strategy", "wall_seconds", "select_seconds",
+        "kind", "label", "router", "num_sinks", "groups", "seed", "order",
+        "family", "neighbor_strategy", "wall_seconds", "select_seconds",
         "total_seconds", "peak_rss_mb", "wirelength", "global_skew_ps",
         "max_intra_group_skew_ps", "num_nodes", "passes",
         "neighbor_full_rebuilds", "neighbor_incremental_passes",
         "obstacle_detour", "repaired", "skew_violations_pre",
         "skew_violations_post", "repaired_wirelength", "ok", "error",
+    }
+)
+
+#: Keys every ``kind == "service"`` row carries (written by the
+#: :mod:`repro.service.loadtest` harness).
+SERVICE_ROW_KEYS = frozenset(
+    {
+        "kind", "label", "router", "num_sinks", "groups", "seed", "workers",
+        "requests", "hits", "misses", "hit_rate", "cold_seconds",
+        "hot_seconds_total", "requests_per_sec", "p50_ms", "p99_ms",
+        "identical_results", "ok", "error",
     }
 )
 
@@ -100,6 +122,13 @@ REPAIR_GATE_KEYS = frozenset(
     {
         "kind", "name", "row_labels", "violations_pre", "violations_post",
         "max_surviving_fraction", "passed",
+    }
+)
+
+SERVICE_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "row_label", "hit_rate", "min_hit_rate",
+        "hot_speedup", "speedup_threshold", "identical_results", "passed",
     }
 )
 
@@ -184,6 +213,7 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
     """Execute one bench config in this (fresh) process; returns the row."""
     spec = RunSpec.from_dict(config["spec"])
     row: Dict[str, Any] = {
+        "kind": "routing",
         "label": config["label"],
         "router": spec.router.name,
         "num_sinks": spec.instance.num_sinks or 0,
@@ -337,40 +367,77 @@ def run_suite(
     seed: int = 1,
     smoke: bool = False,
     progress=None,
+    suite: str = "scaling",
+    service_sizes: Optional[Sequence[int]] = None,
 ) -> Dict[str, Any]:
-    """Run the scaling suite and return the ``BENCH_*.json`` payload.
+    """Run the requested suite(s) and return the ``BENCH_*.json`` payload.
 
     Args:
-        sizes: sink counts to sweep (defaults to 500/2000/8000, or the tiny
-            smoke sizes with ``smoke=True``).
+        sizes: sink counts of the scaling sweep (defaults to 500/2000/8000,
+            or the tiny smoke sizes with ``smoke=True``).
         seed: instance seed shared by every run.
-        smoke: run the CI-sized suite: tiny instances, and the speed-up
-            threshold is waived (identity still gates) because sub-second
-            runs are dominated by noise.
+        smoke: run the CI-sized suite: tiny instances, and the speed-up /
+            latency thresholds are waived (identity and hit-rate still gate)
+            because sub-second runs are dominated by noise.
         progress: optional callable invoked with each finished row.
+        suite: ``"scaling"`` (construction-side rows + gates), ``"service"``
+            (the :mod:`repro.service` load harness) or ``"all"`` (both).
+        service_sizes: sink counts of the service load suite (defaults to
+            500/2000, or 120 with ``smoke=True``).
     """
+    if suite not in SUITES:
+        raise ValueError("unknown bench suite %r; expected one of %s" % (suite, SUITES))
+    explicit_sizes = sizes is not None
     if sizes is None:
         sizes = SMOKE_SIZES if smoke else DEFAULT_SIZES
     threshold = 0.0 if smoke else GATE_SPEEDUP
-    configs = scaling_configs(sizes, seed=seed)
     rows: List[Dict[str, Any]] = []
-    # A fresh single-use pool per run: each row executes in its own child
-    # process, so peak-RSS is a true per-run measurement and runs stay
-    # sequential.  (Recreating the pool is the 3.8-compatible equivalent of
-    # max_tasks_per_child=1, which needs Python 3.11.)
-    for config in configs:
-        with ProcessPoolExecutor(max_workers=1) as pool:
-            row = pool.submit(_bench_worker, config).result()
-        rows.append(row)
-        if progress is not None:
-            progress(row)
+    gates: List[Dict[str, Any]] = []
+    scaling_sizes: List[int] = []
+    if suite in ("scaling", "all"):
+        scaling_sizes = list(sizes)
+        configs = scaling_configs(scaling_sizes, seed=seed)
+        # A fresh single-use pool per run: each row executes in its own child
+        # process, so peak-RSS is a true per-run measurement and runs stay
+        # sequential.  (Recreating the pool is the 3.8-compatible equivalent
+        # of max_tasks_per_child=1, which needs Python 3.11.)
+        for config in configs:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                row = pool.submit(_bench_worker, config).result()
+            rows.append(row)
+            if progress is not None:
+                progress(row)
+        gates.extend(_gates(rows, scaling_sizes, threshold))
+    used_service_sizes: List[int] = []
+    if suite in ("service", "all"):
+        from repro.service.loadtest import (
+            DEFAULT_SERVICE_SIZES,
+            SMOKE_SERVICE_SIZES,
+            run_service_suite,
+        )
+
+        if service_sizes is None:
+            # ``--suite service --sizes ...`` applies the explicit sizes to
+            # the one suite being run; for ``all`` each suite has its own.
+            if suite == "service" and explicit_sizes:
+                service_sizes = sizes
+            else:
+                service_sizes = SMOKE_SERVICE_SIZES if smoke else DEFAULT_SERVICE_SIZES
+        used_service_sizes = list(service_sizes)
+        service_rows, service_gates = run_service_suite(
+            sizes=used_service_sizes, seed=seed, smoke=smoke, progress=progress
+        )
+        rows.extend(service_rows)
+        gates.extend(service_gates)
     return {
         "schema": SCHEMA,
-        "suite": "smoke" if smoke else "scaling",
+        "suite": suite,
+        "smoke": smoke,
         "seed": seed,
-        "sizes": list(sizes),
+        "sizes": scaling_sizes,
+        "service_sizes": used_service_sizes,
         "rows": rows,
-        "gates": _gates(rows, sizes, threshold),
+        "gates": gates,
     }
 
 
@@ -389,13 +456,26 @@ def validate_bench_payload(payload: Any) -> None:
         raise ValueError(
             "unknown bench schema %r (expected %r)" % (payload.get("schema"), SCHEMA)
         )
-    for key in ("suite", "seed", "sizes", "rows", "gates"):
+    for key in ("suite", "smoke", "seed", "sizes", "service_sizes", "rows", "gates"):
         if key not in payload:
             raise ValueError("bench payload misses key %r" % key)
+    if payload["suite"] not in SUITES:
+        raise ValueError(
+            "unknown bench suite %r; expected one of %s" % (payload["suite"], SUITES)
+        )
     if not isinstance(payload["rows"], list) or not payload["rows"]:
         raise ValueError("bench payload must contain a non-empty 'rows' list")
     for row in payload["rows"]:
-        missing = ROW_KEYS - set(row)
+        kind = row.get("kind")
+        if kind == "routing":
+            expected = ROW_KEYS
+        elif kind == "service":
+            expected = SERVICE_ROW_KEYS
+        else:
+            raise ValueError(
+                "bench row %r has unknown kind %r" % (row.get("label"), kind)
+            )
+        missing = expected - set(row)
         if missing:
             raise ValueError(
                 "bench row %r misses keys %s" % (row.get("label"), sorted(missing))
@@ -410,6 +490,8 @@ def validate_bench_payload(payload: Any) -> None:
             expected = SPEEDUP_GATE_KEYS
         elif kind == "repair":
             expected = REPAIR_GATE_KEYS
+        elif kind == "service":
+            expected = SERVICE_GATE_KEYS
         else:
             raise ValueError(
                 "bench gate %r has unknown kind %r" % (gate.get("name"), kind)
@@ -423,11 +505,15 @@ def validate_bench_payload(payload: Any) -> None:
 
 def format_rows(payload: Dict[str, Any]) -> str:
     """A human-readable table of a bench payload (what ``repro bench`` prints)."""
-    lines = [
-        "%-36s %9s %9s %9s %12s"
-        % ("label", "wall s", "select s", "rss MB", "wirelength")
-    ]
-    for row in payload["rows"]:
+    lines = []
+    routing = [row for row in payload["rows"] if row["kind"] == "routing"]
+    service = [row for row in payload["rows"] if row["kind"] == "service"]
+    if routing:
+        lines.append(
+            "%-36s %9s %9s %9s %12s"
+            % ("label", "wall s", "select s", "rss MB", "wirelength")
+        )
+    for row in routing:
         status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
         lines.append(
             "%-36s %9.3f %9.3f %9.1f %12.0f%s"
@@ -440,7 +526,40 @@ def format_rows(payload: Dict[str, Any]) -> str:
                 status,
             )
         )
+    if service:
+        lines.append(
+            "%-36s %9s %9s %9s %9s %9s"
+            % ("label", "cold s", "req/s", "p50 ms", "p99 ms", "hit rate")
+        )
+    for row in service:
+        status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
+        lines.append(
+            "%-36s %9.3f %9.1f %9.2f %9.2f %9.3f%s"
+            % (
+                row["label"],
+                row["cold_seconds"],
+                row["requests_per_sec"],
+                row["p50_ms"],
+                row["p99_ms"],
+                row["hit_rate"],
+                status,
+            )
+        )
     for gate in payload["gates"]:
+        if gate["kind"] == "service":
+            lines.append(
+                "gate %-31s hit rate %.3f (>= %.2f)  hot x%.0f (>= x%.0f)  identical=%s  %s"
+                % (
+                    gate["name"],
+                    gate["hit_rate"],
+                    gate["min_hit_rate"],
+                    gate["hot_speedup"],
+                    gate["speedup_threshold"],
+                    gate["identical_results"],
+                    "PASS" if gate["passed"] else "FAIL",
+                )
+            )
+            continue
         if gate["kind"] == "repair":
             lines.append(
                 "gate %-31s skew violations %d -> %d (<= %.0f%% surviving)  %s"

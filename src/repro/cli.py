@@ -10,7 +10,10 @@ Subcommands::
     repro optimize  -- route an instance, repair it, report before/after
     repro batch     -- execute a JSON list of run specs (optionally parallel)
     repro routers   -- list the routers available in the registry
-    repro bench     -- run the perf-gate scaling suite, write BENCH_*.json
+    repro serve     -- run the routing service (async HTTP server with a
+                       content-addressed RunSpec -> RunResult cache)
+    repro bench     -- run the perf-gate suites (scaling and/or the service
+                       load test), write BENCH_*.json
     repro table1    -- reproduce Table I (clustered sink groups)
     repro table2    -- reproduce Table II (intermingled sink groups)
     repro figure1   -- reproduce Figure 1 (zero vs bounded skew)
@@ -199,8 +202,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("routers", help="list the routers available in the registry")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the routing service: an asyncio HTTP server with a "
+        "content-addressed RunSpec -> RunResult cache in front of the "
+        "router registry",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8343, help="TCP port (0 binds an ephemeral port)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk cache tier (default: memory-only cache)",
+    )
+    serve.add_argument(
+        "--memory-capacity",
+        type=int,
+        default=256,
+        help="in-memory LRU cache capacity, entries (default: 256)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="routing worker processes; <= 1 routes in server threads "
+        "(default: 1)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="maximum route computes in flight at once (default: 4)",
+    )
+
     bench = sub.add_parser(
-        "bench", help="run the perf-gate scaling suite and write BENCH_*.json"
+        "bench",
+        help="run the perf-gate suites (scaling and/or service load test) "
+        "and write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--suite",
+        choices=("scaling", "service", "all"),
+        default="scaling",
+        help="which suite to run: the construction-side scaling sweep, the "
+        "serving-side load test, or both (default: scaling)",
+    )
+    bench.add_argument(
+        "--service-sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="sink counts of the service load suite (default: 500 2000, or "
+        "120 with --smoke)",
     )
     bench.add_argument(
         "--out",
@@ -419,17 +474,41 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            memory_capacity=args.memory_capacity,
+            workers=args.workers,
+            max_concurrency=args.max_concurrency,
+        )
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import format_rows, run_suite, validate_bench_payload
 
     def progress(row):
         status = "ok" if row["ok"] else "ERROR"
+        seconds = row["wall_seconds"] if row["kind"] == "routing" else row["cold_seconds"]
         print(
-            "bench %-36s %9.3f s  %s" % (row["label"], row["wall_seconds"], status),
+            "bench %-36s %9.3f s  %s" % (row["label"], seconds, status),
             file=sys.stderr,
         )
 
-    payload = run_suite(sizes=args.sizes, seed=args.seed, smoke=args.smoke, progress=progress)
+    payload = run_suite(
+        sizes=args.sizes,
+        seed=args.seed,
+        smoke=args.smoke,
+        progress=progress,
+        suite=args.suite,
+        service_sizes=args.service_sizes,
+    )
     validate_bench_payload(payload)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -495,6 +574,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_batch(args)
     if args.command == "routers":
         return _cmd_routers(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command in ("table1", "table2"):

@@ -1,0 +1,331 @@
+"""The content-addressed ``RunSpec`` -> ``RunResult`` cache of the service.
+
+Serving "millions of users" means most traffic must be cache hits on
+previously routed specs, not fresh CTS runs.  :class:`RunCache` provides
+exactly that, keyed by :meth:`repro.api.spec.RunSpec.cache_key` (the sha256
+of the spec's canonical JSON form) with two tiers:
+
+* a bounded **in-memory LRU tier** holding the serialised JSON text of the
+  most recently used results (``memory_capacity`` entries; 0 disables it);
+* an **on-disk tier** -- one ``<key>.json`` file per entry under
+  ``cache_dir`` (``None`` disables it), written atomically (temp file +
+  ``os.replace``) so concurrent readers never observe a partial entry, and
+  read corruption-tolerantly (a truncated or mangled file is a *miss*, never
+  a crash; the corrupt file is removed best-effort).
+
+Entries are stored as the exact ``RunResult.to_dict()`` JSON text, so a hit
+reconstructs a result byte-identical (via ``to_dict()``) to the originally
+computed one, and the memory and disk tiers can never disagree about bytes.
+
+:class:`CacheStats` counts hits (split per tier), misses, evictions, stores,
+invalidations and corrupt reads, and reports the disk tier's entry count and
+total bytes.  ``invalidate()`` / ``clear()`` are the invalidation API.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.api.spec import RunResult, RunSpec
+
+__all__ = ["CacheStats", "RunCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`RunCache` (all monotonic except the gauges).
+
+    ``disk_entries`` / ``disk_bytes`` are point-in-time gauges of the on-disk
+    tier (0 when the cache is memory-only); everything else counts events
+    since construction (``clear()`` resets the gauges, not the counters).
+    """
+
+    hits: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    corrupt_entries: int = 0
+    memory_entries: int = 0
+    disk_entries: int = 0
+    disk_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "corrupt_entries": self.corrupt_entries,
+            "memory_entries": self.memory_entries,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
+            "requests": self.requests,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class RunCache:
+    """A two-tier (memory LRU over disk) content-addressed result cache.
+
+    Args:
+        cache_dir: directory of the on-disk tier (created on first store).
+            ``None`` disables the disk tier (memory-only cache).
+        memory_capacity: maximum entries of the in-memory LRU tier; ``0``
+            disables it (every hit then reads from disk).
+
+    Thread-safe: the memory tier and the counters are guarded by a lock, and
+    disk writes are atomic renames, so the cache can be shared between a
+    server's event loop and load-generator threads.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        memory_capacity: int = 256,
+    ) -> None:
+        if memory_capacity < 0:
+            raise ValueError("memory_capacity must be non-negative")
+        if cache_dir is None and memory_capacity == 0:
+            raise ValueError("a cache needs at least one tier (memory or disk)")
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.memory_capacity = memory_capacity
+        self._memory: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Key handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(spec_or_key: Union[RunSpec, str]) -> str:
+        """The cache key of a spec (or a pre-computed key, passed through)."""
+        if isinstance(spec_or_key, RunSpec):
+            return spec_or_key.cache_key()
+        key = str(spec_or_key)
+        # Keys become file names: reject anything that is not a hex digest so
+        # a malicious "key" can never escape the cache directory.
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError("cache keys are lowercase sha256 hex digests, got %r" % key)
+        return key
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / (key + ".json")
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, spec_or_key: Union[RunSpec, str]) -> Optional[RunResult]:
+        """The cached :class:`RunResult` for this spec, or ``None`` (a miss).
+
+        A memory hit refreshes the entry's LRU position; a disk hit promotes
+        the entry into the memory tier.  Corrupt disk entries count as misses
+        (and are deleted best-effort).
+        """
+        key = self.key_for(spec_or_key)
+        with self._lock:
+            text = self._memory.get(key)
+            if text is not None:
+                self._memory.move_to_end(key)
+                self._hits += 1
+                self._memory_hits += 1
+                return RunResult.from_dict(json.loads(text))
+        text = self._read_disk(key)
+        with self._lock:
+            if text is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._disk_hits += 1
+            self._promote(key, text)
+        return RunResult.from_dict(json.loads(text))
+
+    def put(self, spec: Union[RunSpec, str], result: RunResult) -> str:
+        """Store ``result`` under ``spec``'s key (returned) in both tiers."""
+        key = self.key_for(spec)
+        text = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+        if self.cache_dir is not None:
+            self._write_disk_atomic(key, text)
+        with self._lock:
+            self._stores += 1
+            self._promote(key, text)
+        return key
+
+    def _promote(self, key: str, text: str) -> None:
+        """Insert/refresh a memory-tier entry, evicting LRU overflow.
+
+        Caller holds the lock.
+        """
+        if self.memory_capacity == 0:
+            return
+        self._memory[key] = text
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_capacity:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _read_disk(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        # A stored entry must parse back into a result; anything else --
+        # truncated write from a killed process, bit rot, a stray file -- is
+        # treated as a miss and the entry is dropped so it cannot keep
+        # costing a parse attempt per lookup.
+        try:
+            RunResult.from_dict(json.loads(text))
+        except Exception:  # noqa: BLE001 - corruption tolerance is the point
+            with self._lock:
+                self._corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return text
+
+    def _write_disk_atomic(self, key: str, text: str) -> None:
+        """Write ``<key>.json`` so readers see the old entry or the new one,
+        never a partial write: temp file in the same directory + ``os.replace``
+        (atomic on POSIX and Windows)."""
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".%s." % key[:16], suffix=".tmp", dir=str(self.cache_dir)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, str(self._path(key)))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _disk_usage(self) -> tuple:
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0, 0
+        entries = 0
+        total = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return entries, total
+
+    # ------------------------------------------------------------------
+    # Invalidation API
+    # ------------------------------------------------------------------
+    def invalidate(self, spec_or_key: Union[RunSpec, str]) -> bool:
+        """Drop one entry from both tiers; True when anything was removed."""
+        key = self.key_for(spec_or_key)
+        removed = False
+        with self._lock:
+            if self._memory.pop(key, None) is not None:
+                removed = True
+        if self.cache_dir is not None:
+            try:
+                self._path(key).unlink()
+                removed = True
+            except OSError:
+                pass
+        if removed:
+            with self._lock:
+                self._invalidations += 1
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry from both tiers; returns the number removed."""
+        with self._lock:
+            removed = len(self._memory)
+            self._memory.clear()
+        disk_keys = set()
+        if self.cache_dir is not None and self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json"):
+                disk_keys.add(path.stem)
+                try:
+                    path.unlink()
+                except OSError:
+                    disk_keys.discard(path.stem)
+        # Entries present in both tiers count once.
+        removed = max(removed, len(disk_keys)) if disk_keys else removed
+        with self._lock:
+            self._invalidations += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    def __contains__(self, spec_or_key: object) -> bool:
+        if not isinstance(spec_or_key, (RunSpec, str)):
+            return False
+        key = self.key_for(spec_or_key)
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self.cache_dir is not None and self._path(key).is_file()
+
+    def __len__(self) -> int:
+        """Distinct entries across both tiers."""
+        with self._lock:
+            keys = set(self._memory)
+        if self.cache_dir is not None and self.cache_dir.is_dir():
+            keys.update(path.stem for path in self.cache_dir.glob("*.json"))
+        return len(keys)
+
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the cache counters and gauges."""
+        disk_entries, disk_bytes = self._disk_usage()
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                memory_hits=self._memory_hits,
+                disk_hits=self._disk_hits,
+                misses=self._misses,
+                stores=self._stores,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                corrupt_entries=self._corrupt,
+                memory_entries=len(self._memory),
+                disk_entries=disk_entries,
+                disk_bytes=disk_bytes,
+            )

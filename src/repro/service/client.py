@@ -1,0 +1,177 @@
+"""A small blocking HTTP client for the repro routing service.
+
+Used by the tests, the load harness and ``examples/service_flow.py``; it is
+also the reference for how to talk to the service from any HTTP stack.  One
+``http.client`` connection per request (the server closes connections after
+each response), JSON in / JSON out, specs and results moving through the same
+``to_dict``/``from_dict`` contract as the rest of the facade::
+
+    client = ServiceClient(port=8343)
+    response = client.route(spec)          # RouteResponse(key, cached, result)
+    for event in client.iter_batch(specs): # BatchEvent stream, completion order
+        print(event.index, event.cached, event.result.wirelength)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.api.spec import RunResult, RunSpec
+
+__all__ = ["ServiceClient", "ServiceError", "RouteResponse", "BatchEvent"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class RouteResponse:
+    """One ``POST /route`` answer."""
+
+    key: str
+    cached: bool
+    result: RunResult
+
+
+@dataclass(frozen=True)
+class BatchEvent:
+    """One NDJSON line of a ``POST /batch`` stream (in completion order)."""
+
+    index: int
+    key: str
+    cached: bool
+    result: RunResult
+
+
+def _spec_dict(spec: Union[RunSpec, Dict[str, Any]]) -> Dict[str, Any]:
+    return spec.to_dict() if isinstance(spec, RunSpec) else dict(spec)
+
+
+class ServiceClient:
+    """Blocking client for one service endpoint (host + port)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8343, timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request_json(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Dict[str, Any]:
+        connection = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            connection.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            data = response.read()
+            parsed = self._parse_body(response.status, data)
+            if response.status != 200:
+                raise ServiceError(response.status, parsed.get("error", data.decode("utf-8", "replace")))
+            return parsed
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _parse_body(status: int, data: bytes) -> Dict[str, Any]:
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(status, "undecodable response body: %s" % exc) from exc
+        if not isinstance(parsed, dict):
+            raise ServiceError(status, "expected a JSON object response")
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/healthz")
+
+    def routers(self) -> List[Dict[str, Any]]:
+        return self._request_json("GET", "/routers")["routers"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/stats")
+
+    def clear_cache(self) -> int:
+        """Invalidate every cached result; returns the number removed."""
+        return int(self._request_json("POST", "/cache/clear")["cleared"])
+
+    def route(self, spec: Union[RunSpec, Dict[str, Any]]) -> RouteResponse:
+        """Route one spec (cache-first on the server side)."""
+        payload = self._request_json("POST", "/route", _spec_dict(spec))
+        return RouteResponse(
+            key=payload["key"],
+            cached=bool(payload["cached"]),
+            result=RunResult.from_dict(payload["result"]),
+        )
+
+    def iter_batch(
+        self, specs: Sequence[Union[RunSpec, Dict[str, Any]]]
+    ) -> Iterator[Union[BatchEvent, Dict[str, Any]]]:
+        """Stream a batch: yields a :class:`BatchEvent` per completed run (in
+        completion order) and finally the summary dict (``{"done": True, ...}``)."""
+        connection = self._connect()
+        try:
+            body = json.dumps({"runs": [_spec_dict(s) for s in specs]}).encode("utf-8")
+            connection.request(
+                "POST", "/batch", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                data = response.read()
+                parsed = self._parse_body(response.status, data)
+                raise ServiceError(response.status, parsed.get("error", "batch failed"))
+            saw_summary = False
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                if event.get("done"):
+                    saw_summary = True
+                    yield event
+                    break
+                yield BatchEvent(
+                    index=int(event["index"]),
+                    key=event["key"],
+                    cached=bool(event["cached"]),
+                    result=RunResult.from_dict(event["result"]),
+                )
+            if not saw_summary:
+                raise ServiceError(200, "batch stream ended without a summary line")
+        finally:
+            connection.close()
+
+    def batch(
+        self, specs: Sequence[Union[RunSpec, Dict[str, Any]]]
+    ) -> List[RunResult]:
+        """Run a batch and return results in *spec* order (like ``BatchRunner``)."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        for event in self.iter_batch(specs):
+            if isinstance(event, BatchEvent):
+                results[event.index] = event.result
+        missing = [i for i, result in enumerate(results) if result is None]
+        if missing:
+            raise ServiceError(200, "batch stream missed indices %s" % missing)
+        return results  # type: ignore[return-value]

@@ -1,0 +1,616 @@
+"""Routing-as-a-service: a stdlib-only asyncio HTTP server over ``repro.api``.
+
+The server turns the library into a long-running system: requests are
+:class:`~repro.api.spec.RunSpec` JSON documents, responses are
+:class:`~repro.api.spec.RunResult` JSON documents, and a content-addressed
+two-tier :class:`~repro.service.cache.RunCache` sits in front of the routers
+so repeat traffic is served in microseconds instead of CTS runtimes.
+
+Endpoints (HTTP/1.1, one request per connection, ``Connection: close``):
+
+* ``POST /route`` -- body: one ``RunSpec`` dict.  Cache-first; a miss falls
+  through to the routing worker pool.  Response:
+  ``{"key", "cached", "result"}``.
+* ``POST /batch`` -- body: a list of spec dicts (or ``{"runs": [...]}``).
+  Streams NDJSON: one ``{"index", "key", "cached", "result"}`` line per run
+  *as it completes* (cached entries first, then
+  :meth:`~repro.api.batch.BatchRunner.run` completions via its ``on_result``
+  callback), terminated by a ``{"done": true, ...}`` summary line.
+* ``GET /routers`` -- the router registry (name + description).
+* ``GET /stats`` -- cache counters plus server request/latency counters
+  (p50/p99 over the most recent ``/route`` requests).
+* ``GET /healthz`` -- liveness (never touches the cache or the pool).
+* ``POST /cache/clear`` -- the invalidation API over the wire.
+
+Concurrency model: the asyncio event loop only parses HTTP and JSON; every
+route compute is dispatched to a worker (a persistent ``ProcessPoolExecutor``
+mirroring the :class:`~repro.api.batch.BatchRunner` registry initializer when
+``workers > 1``, otherwise an executor thread) behind an
+``asyncio.Semaphore``, so the loop stays responsive while CPU-heavy routing
+runs and at most ``max_concurrency`` computes are in flight.  Batch requests
+drive one ``BatchRunner`` per request from an executor thread and forward its
+``on_result`` completions into the loop with ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.batch import BatchRunner, _init_worker, _picklable_registrations
+from repro.api.registry import available_routers, router_description
+from repro.api.runner import run_safe
+from repro.api.spec import RunResult, RunSpec
+from repro.service.cache import RunCache
+
+__all__ = ["ServiceConfig", "RoutingService", "RoutingServer", "ServerThread", "serve"]
+
+#: Hard ceiling on request bodies (a batch of a few thousand specs fits with
+#: room to spare; anything larger is a client bug, not a workload).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Hard ceiling on header lines per request.
+MAX_HEADER_LINES = 100
+
+
+class _HttpError(Exception):
+    """An error that maps onto an HTTP status + JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class ServiceConfig:
+    """Configuration of one :class:`RoutingServer`."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (read it back from ``server.port``).
+    port: int = 8343
+    #: Directory of the cache's disk tier; ``None`` keeps the cache in memory.
+    cache_dir: Optional[str] = None
+    #: Memory-tier LRU capacity (entries).
+    memory_capacity: int = 256
+    #: Routing worker processes.  ``<= 1`` routes in executor threads (no
+    #: process pool -- the right setting for sandboxes and tests); ``> 1``
+    #: keeps a persistent process pool for ``/route`` and sizes each batch
+    #: request's :class:`BatchRunner` accordingly.
+    workers: int = 1
+    #: Maximum route computes in flight at once (cache hits are not limited).
+    max_concurrency: int = 4
+    #: Per-read timeout while parsing a request, seconds.
+    read_timeout: float = 30.0
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted sample list."""
+    if not samples:
+        return 0.0
+    rank = min(len(samples) - 1, max(0, int(round(fraction * (len(samples) - 1)))))
+    return samples[rank]
+
+
+@dataclass
+class _ServerStats:
+    """Request counters of the HTTP layer (latencies in seconds)."""
+
+    started: float = field(default_factory=time.time)
+    requests: int = 0
+    route_requests: int = 0
+    batch_requests: int = 0
+    batch_runs: int = 0
+    route_hits: int = 0
+    route_misses: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+    #: Wall time of the most recent /route requests (cache hits and misses).
+    route_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    def to_dict(self) -> Dict[str, Any]:
+        latencies = sorted(self.route_latencies)
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "requests": self.requests,
+            "route_requests": self.route_requests,
+            "batch_requests": self.batch_requests,
+            "batch_runs": self.batch_runs,
+            "route_hits": self.route_hits,
+            "route_misses": self.route_misses,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "latency": {
+                "count": len(latencies),
+                "p50_ms": 1000.0 * _percentile(latencies, 0.50),
+                "p99_ms": 1000.0 * _percentile(latencies, 0.99),
+                "mean_ms": 1000.0 * (sum(latencies) / len(latencies)) if latencies else 0.0,
+            },
+        }
+
+
+class RoutingService:
+    """The endpoint logic, independent of the HTTP transport.
+
+    Owns the :class:`RunCache`, the routing worker pool and the concurrency
+    semaphore; :class:`RoutingServer` wires it to sockets.  Kept separate so
+    tests (and future transports) can drive endpoints directly.
+    """
+
+    def __init__(self, config: ServiceConfig, cache: Optional[RunCache] = None) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else RunCache(
+            cache_dir=config.cache_dir, memory_capacity=config.memory_capacity
+        )
+        self.stats = _ServerStats()
+        self._semaphore = asyncio.Semaphore(max(1, config.max_concurrency))
+        # Executor threads block on the process pool / BatchRunner, so size
+        # past the semaphore to keep a slot free for batch drivers.
+        self._threads = ThreadPoolExecutor(
+            max_workers=max(1, config.max_concurrency) + 2,
+            thread_name_prefix="repro-service",
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Compute path
+    # ------------------------------------------------------------------
+    def _run_one_blocking(self, spec: RunSpec) -> RunResult:
+        """Route one spec (called from an executor thread, never the loop).
+
+        With ``workers > 1`` the compute happens in a persistent process pool
+        (mirroring the parent's router registry, exactly like
+        ``BatchRunner``); a pool that cannot start or dies falls back to
+        in-thread routing so a request never fails on infrastructure.
+        """
+        if self.config.workers > 1 and not self._pool_broken:
+            try:
+                with self._pool_lock:
+                    if self._pool is None:
+                        self._pool = ProcessPoolExecutor(
+                            max_workers=self.config.workers,
+                            initializer=_init_worker,
+                            initargs=(_picklable_registrations(),),
+                        )
+                    pool = self._pool
+                return pool.submit(run_safe, spec).result()
+            except (OSError, BrokenProcessPool):
+                self._pool_broken = True
+        return run_safe(spec)
+
+    async def route_one(self, spec: RunSpec) -> Tuple[str, bool, RunResult]:
+        """Cache-first single-spec routing: ``(key, cached, result)``."""
+        key = spec.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            return key, True, cached
+        loop = asyncio.get_running_loop()
+        async with self._semaphore:
+            result = await loop.run_in_executor(
+                self._threads, self._run_one_blocking, spec
+            )
+        # Errored runs are not cached: errors may be transient (a worker OOM
+        # kill) and must not be served forever after.
+        if result.error is None:
+            self.cache.put(key, result)
+        return key, False, result
+
+    async def batch_events(self, specs: List[RunSpec]):
+        """Async iterator of ``(index, key, cached, result)`` in completion
+        order: cached entries first, then ``BatchRunner`` completions."""
+        keys = [spec.cache_key() for spec in specs]
+        miss_indices: List[int] = []
+        for index, key in enumerate(keys):
+            cached = self.cache.get(key)
+            if cached is not None:
+                yield index, key, True, cached
+            else:
+                miss_indices.append(index)
+        if not miss_indices:
+            return
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[Optional[Tuple[int, RunResult]]]" = asyncio.Queue()
+
+        def on_result(batch_index: int, result: RunResult) -> None:
+            # Runs in the BatchRunner driver thread; hop into the loop.
+            loop.call_soon_threadsafe(queue.put_nowait, (batch_index, result))
+
+        def drive() -> None:
+            runner = BatchRunner(workers=self.config.workers)
+            try:
+                runner.run([specs[i] for i in miss_indices], on_result=on_result)
+            finally:
+                loop.call_soon_threadsafe(queue.put_nowait, None)
+
+        async with self._semaphore:
+            driver = loop.run_in_executor(self._threads, drive)
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                batch_index, result = event
+                index = miss_indices[batch_index]
+                if result.error is None:
+                    self.cache.put(keys[index], result)
+                yield index, keys[index], False, result
+            await driver
+
+    # ------------------------------------------------------------------
+    def routers_payload(self) -> Dict[str, Any]:
+        return {
+            "routers": [
+                {"name": name, "description": router_description(name)}
+                for name in available_routers()
+            ]
+        }
+
+    def stats_payload(self) -> Dict[str, Any]:
+        import repro
+
+        return {
+            "version": repro.__version__,
+            "cache": self.cache.stats().to_dict(),
+            "server": self.stats.to_dict(),
+        }
+
+    def close(self) -> None:
+        self._threads.shutdown(wait=False)
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+def _parse_specs(body: bytes, batch: bool) -> List[RunSpec]:
+    """Decode a request body into specs; 400s carry the exact reason."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, "request body is not valid JSON: %s" % exc) from exc
+    if batch:
+        if isinstance(data, dict):
+            data = data.get("runs")
+        if not isinstance(data, list) or not data:
+            raise _HttpError(
+                400, "batch body must be a non-empty list of run specs (or {'runs': [...]})"
+            )
+        entries = data
+    else:
+        if not isinstance(data, dict):
+            raise _HttpError(400, "route body must be one run spec object")
+        entries = [data]
+    specs = []
+    for index, entry in enumerate(entries):
+        try:
+            specs.append(RunSpec.from_dict(entry))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, "bad run spec at index %d: %s" % (index, exc)) from exc
+    return specs
+
+
+class RoutingServer:
+    """Binds a :class:`RoutingService` to a TCP socket with asyncio streams."""
+
+    def __init__(self, config: ServiceConfig, cache: Optional[RunCache] = None) -> None:
+        self.config = config
+        self.service = RoutingService(config, cache=cache)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except _HttpError as exc:
+                self.service.stats.requests += 1
+                await self._send_error(writer, exc)
+                return
+            self.service.stats.requests += 1
+            try:
+                await self._dispatch(writer, method, target, body)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+            except Exception as exc:  # noqa: BLE001 - a handler bug must 500, not kill the server
+                self.service.stats.server_errors += 1
+                await self._send_json(
+                    writer, 500, {"error": "%s: %s" % (type(exc).__name__, exc)}
+                )
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request/response; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down with this connection in flight
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        timeout = self.config.read_timeout
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout)
+        except asyncio.TimeoutError:
+            raise _HttpError(408, "timed out reading the request line") from None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line %r" % request_line.decode("latin-1", "replace").strip())
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout)
+            except asyncio.TimeoutError:
+                raise _HttpError(408, "timed out reading headers") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(431, "too many header lines")
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body exceeds %d bytes" % MAX_BODY_BYTES)
+        body = b""
+        if length:
+            try:
+                body = await asyncio.wait_for(reader.readexactly(length), timeout)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                raise _HttpError(400, "request body shorter than Content-Length") from None
+        return method, target, body
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, writer, method: str, target: str, body: bytes) -> None:
+        path = target.split("?", 1)[0]
+        stats = self.service.stats
+        if path == "/healthz":
+            self._require(method, "GET", path)
+            import repro
+
+            await self._send_json(writer, 200, {"status": "ok", "version": repro.__version__})
+        elif path == "/routers":
+            self._require(method, "GET", path)
+            await self._send_json(writer, 200, self.service.routers_payload())
+        elif path == "/stats":
+            self._require(method, "GET", path)
+            await self._send_json(writer, 200, self.service.stats_payload())
+        elif path == "/route":
+            self._require(method, "POST", path)
+            stats.route_requests += 1
+            spec = _parse_specs(body, batch=False)[0]
+            started = time.perf_counter()
+            key, cached, result = await self.service.route_one(spec)
+            stats.route_latencies.append(time.perf_counter() - started)
+            if cached:
+                stats.route_hits += 1
+            else:
+                stats.route_misses += 1
+            await self._send_json(
+                writer, 200, {"key": key, "cached": cached, "result": result.to_dict()}
+            )
+        elif path == "/batch":
+            self._require(method, "POST", path)
+            stats.batch_requests += 1
+            specs = _parse_specs(body, batch=True)
+            await self._stream_batch(writer, specs)
+        elif path == "/cache/clear":
+            self._require(method, "POST", path)
+            removed = self.service.cache.clear()
+            await self._send_json(writer, 200, {"cleared": removed})
+        else:
+            raise _HttpError(404, "no such endpoint %r" % path)
+
+    @staticmethod
+    def _require(method: str, expected: str, path: str) -> None:
+        if method != expected:
+            raise _HttpError(405, "%s requires %s, got %s" % (path, expected, method))
+
+    async def _stream_batch(self, writer, specs: List[RunSpec]) -> None:
+        """NDJSON streaming: one line per completed run, then a summary."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+        hits = misses = errors = 0
+        async for index, key, cached, result in self.service.batch_events(specs):
+            if cached:
+                hits += 1
+            else:
+                misses += 1
+            if result.error is not None:
+                errors += 1
+            line = json.dumps(
+                {"index": index, "key": key, "cached": cached, "result": result.to_dict()},
+                sort_keys=True,
+            )
+            writer.write(line.encode("utf-8") + b"\n")
+            await writer.drain()
+        self.service.stats.batch_runs += len(specs)
+        summary = json.dumps(
+            {"done": True, "total": len(specs), "hits": hits, "misses": misses, "errors": errors},
+            sort_keys=True,
+        )
+        writer.write(summary.encode("utf-8") + b"\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    _REASONS = {
+        200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+        408: "Request Timeout", 413: "Payload Too Large", 431: "Request Header Fields Too Large",
+        500: "Internal Server Error",
+    }
+
+    async def _send_json(self, writer, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = self._REASONS.get(status, "Unknown")
+        head = (
+            "HTTP/1.1 %d %s\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n"
+            "\r\n" % (status, reason, len(body))
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _send_error(self, writer, exc: _HttpError) -> None:
+        if 400 <= exc.status < 500:
+            self.service.stats.client_errors += 1
+        else:
+            self.service.stats.server_errors += 1
+        await self._send_json(writer, exc.status, {"error": exc.message})
+
+
+# ----------------------------------------------------------------------
+# Lifecycle helpers
+# ----------------------------------------------------------------------
+class ServerThread:
+    """A :class:`RoutingServer` running on a background-thread event loop.
+
+    The in-process deployment used by tests, ``examples/service_flow.py`` and
+    the load harness::
+
+        with ServerThread(ServiceConfig(port=0, cache_dir=...)) as server:
+            client = ServiceClient(port=server.port)
+            ...
+
+    ``port`` is the actually bound port (ephemeral when the config asked for
+    port 0).  ``stop()`` (or leaving the ``with`` block) shuts the loop down
+    and joins the thread.
+    """
+
+    def __init__(self, config: ServiceConfig, cache: Optional[RunCache] = None) -> None:
+        self.server = RoutingServer(config, cache=cache)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    @property
+    def service(self) -> RoutingService:
+        return self.server.service
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        if not self._started.is_set():
+            raise RuntimeError("service did not start within 30s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            # Cancel in-flight connection handlers (a client may have gone
+            # away mid-stream) so nothing is destroyed while still pending.
+            pending = [task for task in asyncio.all_tasks(loop) if not task.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(config: ServiceConfig) -> None:
+    """Run a server in the foreground until interrupted (``repro serve``)."""
+    server = RoutingServer(config)
+
+    async def _main() -> None:
+        await server.start()
+        print("repro service listening on http://%s:%d" % (config.host, server.port))
+        print(
+            "cache: %s, workers: %d, max concurrency: %d"
+            % (config.cache_dir or "memory-only", config.workers, config.max_concurrency)
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass

@@ -386,6 +386,122 @@ class TestBatchRunner:
         assert results[1].error is not None
         assert results[0].wirelength == results[2].wirelength
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_on_result_streams_every_run_once(self, workers):
+        # The server-side streaming hook: every spec's (index, result) must be
+        # reported exactly once, in completion order, without disturbing the
+        # deterministic ordering of the returned list.
+        specs = [
+            RunSpec(
+                instance=InstanceSpec.from_random(12, seed=seed),
+                router=RouterSpec("greedy-dme"),
+                label="run-%d" % seed,
+            )
+            for seed in (1, 2, 3)
+        ]
+        events = []
+        results = BatchRunner(workers=workers).run(
+            specs, on_result=lambda i, r: events.append((i, r))
+        )
+        assert sorted(i for i, _ in events) == [0, 1, 2]
+        for index, result in events:
+            assert result is results[index]
+        assert [r.spec for r in results] == specs
+        if workers <= 1:
+            # The serial path completes in submission order by construction.
+            assert [i for i, _ in events] == [0, 1, 2]
+
+    def test_results_identical_with_and_without_on_result(self):
+        specs = [
+            RunSpec(instance=InstanceSpec.from_random(14, seed=seed))
+            for seed in (4, 5)
+        ]
+        plain = BatchRunner(workers=2).run(specs)
+        streamed = BatchRunner(workers=2).run(specs, on_result=lambda i, r: None)
+
+        def stable(result):
+            # Wall-clock timings vary run to run; everything else must not.
+            d = result.to_dict()
+            d.pop("route_seconds"), d.pop("total_seconds")
+            return d
+
+        assert [stable(r) for r in streamed] == [stable(r) for r in plain]
+
+    def test_on_result_reports_captured_errors_too(self):
+        bad = RunSpec(
+            instance=InstanceSpec.from_random(12, seed=3),
+            router=RouterSpec("no-such-router"),
+        )
+        events = []
+        BatchRunner(workers=1).run([bad], on_result=lambda i, r: events.append((i, r)))
+        assert len(events) == 1
+        assert events[0][0] == 0
+        assert events[0][1].error is not None
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache keys
+# ----------------------------------------------------------------------
+class TestCacheKey:
+    @staticmethod
+    def _spec(**overrides):
+        from repro.opt import OptConfig
+
+        kwargs = dict(
+            instance=InstanceSpec.from_random(50, seed=2, groups=4),
+            router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+            validate=True,
+            opt=OptConfig(enabled=True),
+        )
+        kwargs.update(overrides)
+        return RunSpec(**kwargs)
+
+    def test_is_a_sha256_hex_digest(self):
+        key = self._spec().cache_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_specs_share_a_key(self):
+        # Two independently constructed but identical specs must collide --
+        # that is what makes the key content-addressed rather than per-object.
+        assert self._spec().cache_key() == self._spec().cache_key()
+
+    def test_round_trip_preserves_the_key(self):
+        spec = self._spec()
+        restored = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored.cache_key() == spec.cache_key()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"instance": InstanceSpec.from_random(51, seed=2, groups=4)},
+            {"instance": InstanceSpec.from_random(50, seed=3, groups=4)},
+            {"router": RouterSpec("ext-bst", {"skew_bound_ps": 10.0})},
+            {"router": RouterSpec("ast-dme", {"skew_bound_ps": 12.5})},
+            {"validate": False},
+            {"intra_bound_ps": 8.0},
+            {"label": "tagged"},
+            {"opt": None},
+            {"locus_tolerance": 0.5},
+        ],
+    )
+    def test_any_field_change_changes_the_key(self, overrides):
+        assert self._spec(**overrides).cache_key() != self._spec().cache_key()
+
+    def test_nested_opt_option_changes_the_key(self):
+        from repro.opt import OptConfig
+
+        base = self._spec()
+        tweaked = self._spec(opt=OptConfig(enabled=True, repair_sweeps=7))
+        assert tweaked.cache_key() != base.cache_key()
+
+    def test_nested_router_option_changes_the_key(self):
+        base = self._spec()
+        tweaked = self._spec(
+            router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0, "multi_merge": False})
+        )
+        assert tweaked.cache_key() != base.cache_key()
+
 
 # ----------------------------------------------------------------------
 # Config copying regressions (the ast_config / shim bug class)

@@ -55,9 +55,12 @@ class TestRunSuite:
     def test_payload_schema(self, smoke_payload):
         validate_bench_payload(smoke_payload)
         assert smoke_payload["schema"] == SCHEMA
-        assert smoke_payload["suite"] == "smoke"
+        assert smoke_payload["suite"] == "scaling"
+        assert smoke_payload["smoke"] is True
         assert smoke_payload["sizes"] == [60]
+        assert smoke_payload["service_sizes"] == []
         assert len(smoke_payload["rows"]) == 9
+        assert all(row["kind"] == "routing" for row in smoke_payload["rows"])
         json.dumps(smoke_payload)  # JSON-serialisable end to end
 
     def test_obstacle_scenario_rows_present_and_ok(self, smoke_payload):
@@ -135,14 +138,73 @@ class TestValidate:
             validate_bench_payload(bad)
 
     def test_rejects_missing_row_keys(self, smoke_payload):
-        bad = dict(smoke_payload, rows=[{"label": "x"}])
+        bad = dict(smoke_payload, rows=[{"kind": "routing", "label": "x"}])
         with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+    def test_rejects_unknown_row_kind(self, smoke_payload):
+        bad = dict(smoke_payload, rows=[dict(smoke_payload["rows"][0], kind="weird")])
+        with pytest.raises(ValueError, match="unknown kind"):
+            validate_bench_payload(bad)
+
+    def test_rejects_unknown_suite(self, smoke_payload):
+        bad = dict(smoke_payload, suite="sprint")
+        with pytest.raises(ValueError, match="unknown bench suite"):
             validate_bench_payload(bad)
 
     def test_rejects_empty_rows(self, smoke_payload):
         bad = dict(smoke_payload, rows=[])
         with pytest.raises(ValueError, match="non-empty"):
             validate_bench_payload(bad)
+
+    def test_rejects_service_gate_missing_keys(self, smoke_payload):
+        bad = dict(smoke_payload, gates=[{"kind": "service", "name": "service-n1"}])
+        with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+
+class TestServiceSuite:
+    """The serving-side suite (``repro bench --suite service``)."""
+
+    @pytest.fixture(scope="class")
+    def service_payload(self):
+        return run_suite(suite="service", sizes=(40,), smoke=True)
+
+    def test_payload_schema(self, service_payload):
+        validate_bench_payload(service_payload)
+        assert service_payload["suite"] == "service"
+        assert service_payload["sizes"] == []
+        # --suite service --sizes applies the explicit sizes to the load test.
+        assert service_payload["service_sizes"] == [40]
+        json.dumps(service_payload)
+
+    def test_row_measures_hot_path(self, service_payload):
+        (row,) = service_payload["rows"]
+        assert row["kind"] == "service"
+        assert row["ok"], row["error"]
+        assert row["hits"] == row["requests"] - 1  # everything after the cold miss
+        assert row["hit_rate"] >= 0.9
+        assert row["identical_results"] is True
+        assert row["requests_per_sec"] > 0.0
+        assert 0.0 < row["p50_ms"] <= row["p99_ms"]
+
+    def test_gates_pass(self, service_payload):
+        gates = [g for g in service_payload["gates"] if g["kind"] == "service"]
+        assert len(gates) == 1
+        assert gates[0]["passed"], gates[0]
+        # Smoke mode waives the latency threshold, never the hit-rate bar.
+        assert gates[0]["speedup_threshold"] == 0.0
+        assert gates[0]["min_hit_rate"] == 0.9
+
+    def test_format_rows_has_service_table(self, service_payload):
+        text = format_rows(service_payload)
+        assert "service-n40" in text
+        assert "hit rate" in text
+        assert "PASS" in text
+
+    def test_run_suite_rejects_unknown_suite(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite(suite="sprint")
 
 
 class TestCli:
@@ -154,6 +216,15 @@ class TestCli:
         assert args.smoke is True
         assert args.sizes == [60, 120]
         assert args.out == "B.json"
+        assert args.suite == "scaling"
+        assert args.service_sizes is None
+
+    def test_bench_suite_arguments(self):
+        args = build_parser().parse_args(
+            ["bench", "--suite", "all", "--service-sizes", "120", "240"]
+        )
+        assert args.suite == "all"
+        assert args.service_sizes == [120, 240]
 
     def test_bench_smoke_writes_valid_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_smoke.json"
@@ -161,5 +232,20 @@ class TestCli:
         with open(out, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         validate_bench_payload(payload)
-        assert payload["suite"] == "smoke"
+        assert payload["suite"] == "scaling"
+        assert payload["smoke"] is True
         assert "wrote %s" % out in capsys.readouterr().out
+
+    def test_bench_service_smoke_cli(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_service.json"
+        assert main(
+            ["bench", "--smoke", "--suite", "service", "--service-sizes", "40",
+             "--out", str(out)]
+        ) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        validate_bench_payload(payload)
+        assert payload["suite"] == "service"
+        assert payload["service_sizes"] == [40]
+        assert all(row["kind"] == "service" for row in payload["rows"])
+        assert all(gate["passed"] for gate in payload["gates"])

@@ -1,0 +1,245 @@
+"""Tests for the two-tier content-addressed result cache (repro.service.cache)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import InstanceSpec, RouterSpec, RunSpec, run_safe
+from repro.service.cache import RunCache
+
+
+def _spec(num_sinks: int = 12, seed: int = 3, router: str = "greedy-dme") -> RunSpec:
+    return RunSpec(
+        instance=InstanceSpec.from_random(num_sinks, seed=seed),
+        router=RouterSpec(router),
+        label="cache-%d-%d" % (num_sinks, seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def routed():
+    """One real (spec, result) pair shared by every test in the module."""
+    spec = _spec()
+    return spec, run_safe(spec)
+
+
+class TestLookup:
+    def test_miss_then_hit_round_trips_bytes(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        assert cache.get(spec) is None
+        key = cache.put(spec, result)
+        assert key == spec.cache_key()
+        hit = cache.get(spec)
+        # The acceptance criterion: a hit is byte-identical via to_dict().
+        assert hit is not None
+        assert hit.to_dict() == result.to_dict()
+        assert json.dumps(hit.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+    def test_disk_tier_survives_a_new_cache_instance(self, routed, tmp_path):
+        spec, result = routed
+        RunCache(cache_dir=tmp_path / "c").put(spec, result)
+        # A fresh instance (fresh process in real deployments) sees the entry.
+        reopened = RunCache(cache_dir=tmp_path / "c")
+        hit = reopened.get(spec)
+        assert hit is not None and hit.to_dict() == result.to_dict()
+        assert reopened.stats().disk_hits == 1
+
+    def test_memory_only_cache(self, routed):
+        spec, result = routed
+        cache = RunCache(cache_dir=None, memory_capacity=4)
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit is not None and hit.to_dict() == result.to_dict()
+        assert cache.stats().disk_entries == 0
+
+    def test_lookup_by_precomputed_key(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        key = cache.put(spec, result)
+        assert cache.get(key).to_dict() == result.to_dict()
+        assert key in cache and spec in cache
+
+    def test_rejects_path_escaping_keys(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path / "c")
+        for bad in ("../../etc/passwd", "ABC", "", "a/b"):
+            with pytest.raises(ValueError):
+                cache.get(bad)
+
+    def test_needs_at_least_one_tier(self):
+        with pytest.raises(ValueError):
+            RunCache(cache_dir=None, memory_capacity=0)
+        with pytest.raises(ValueError):
+            RunCache(cache_dir="/tmp/x", memory_capacity=-1)
+
+
+class TestStats:
+    def test_counters(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        cache.get(spec)          # miss
+        cache.put(spec, result)  # store
+        cache.get(spec)          # memory hit
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.stores == 1
+        assert stats.hits == 1 and stats.memory_hits == 1 and stats.disk_hits == 0
+        assert stats.requests == 2
+        assert stats.hit_rate == 0.5
+        assert stats.memory_entries == 1
+        assert stats.disk_entries == 1
+        assert stats.disk_bytes > 0
+        payload = stats.to_dict()
+        json.dumps(payload)
+        assert payload["hit_rate"] == 0.5
+
+    def test_empty_cache_hit_rate_is_zero(self, tmp_path):
+        assert RunCache(cache_dir=tmp_path / "c").stats().hit_rate == 0.0
+
+
+class TestLru:
+    def _fill(self, cache, count, start=0):
+        """Store ``count`` distinct real-shaped results under distinct keys."""
+        spec = _spec()
+        result = run_safe(spec)
+        keys = []
+        for index in range(start, start + count):
+            fake = RunSpec(
+                instance=InstanceSpec.from_random(12, seed=100 + index),
+                router=RouterSpec("greedy-dme"),
+            )
+            keys.append(cache.put(fake, result))
+        return keys
+
+    def test_eviction_respects_capacity(self):
+        cache = RunCache(cache_dir=None, memory_capacity=3)
+        keys = self._fill(cache, 5)
+        stats = cache.stats()
+        assert stats.memory_entries == 3
+        assert stats.evictions == 2
+        # Oldest two evicted (memory-only cache: they are gone for good).
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[4]) is not None
+
+    def test_get_refreshes_lru_position(self):
+        cache = RunCache(cache_dir=None, memory_capacity=2)
+        keys = self._fill(cache, 2)
+        assert cache.get(keys[0]) is not None  # refresh: keys[1] is now LRU
+        self._fill(cache, 1, start=2)          # evicts keys[1], not keys[0]
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_disk_tier_backs_up_memory_evictions(self, tmp_path):
+        cache = RunCache(cache_dir=tmp_path / "c", memory_capacity=2)
+        keys = self._fill(cache, 4)
+        # Evicted from memory but still served (and re-promoted) from disk.
+        assert cache.get(keys[0]) is not None
+        assert cache.stats().disk_hits == 1
+
+
+class TestRobustness:
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c", memory_capacity=0)
+        key = cache.put(spec, result)
+        path = tmp_path / "c" / (key + ".json")
+        path.write_text("{ this is not json", encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats().corrupt_entries == 1
+        # The corrupt file was dropped so it cannot cost a parse per lookup.
+        assert not path.exists()
+
+    def test_truncated_entry_is_a_miss(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c", memory_capacity=0)
+        key = cache.put(spec, result)
+        path = tmp_path / "c" / (key + ".json")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats().corrupt_entries == 1
+
+    def test_valid_json_wrong_shape_is_a_miss(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c", memory_capacity=0)
+        key = cache.put(spec, result)
+        (tmp_path / "c" / (key + ".json")).write_text(
+            json.dumps({"nonsense": True}), encoding="utf-8"
+        )
+        assert cache.get(spec) is None
+
+    def test_atomic_writes_leave_no_temp_files(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        for _ in range(5):
+            cache.put(spec, result)
+        leftovers = [p.name for p in (tmp_path / "c").iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_concurrent_readers_never_observe_partial_writes(self, routed, tmp_path):
+        # A writer re-writing one key in a tight loop while readers hammer it:
+        # with atomic rename every read is either a full hit or a miss (file
+        # not there yet) -- never a corrupt-entry parse failure.
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c", memory_capacity=0)
+        expected = json.dumps(result.to_dict(), sort_keys=True)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(spec, result)
+
+        def reader():
+            # A private instance: no shared lock with the writer beyond the
+            # filesystem itself, which is the property under test.
+            mine = RunCache(cache_dir=tmp_path / "c", memory_capacity=0)
+            for _ in range(300):
+                hit = mine.get(spec)
+                if hit is None:
+                    continue
+                if json.dumps(hit.to_dict(), sort_keys=True) != expected:
+                    failures.append("observed a partial or mixed write")
+            if mine.stats().corrupt_entries:
+                failures.append("reader saw %d corrupt entries" % mine.stats().corrupt_entries)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads[1:]:
+            thread.start()
+        threads[0].start()
+        for thread in threads[1:]:
+            thread.join()
+        stop.set()
+        threads[0].join()
+        assert failures == []
+
+
+class TestInvalidation:
+    def test_invalidate_one_entry(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        cache.put(spec, result)
+        assert cache.invalidate(spec) is True
+        assert cache.get(spec) is None
+        assert cache.invalidate(spec) is False  # already gone
+        assert cache.stats().invalidations == 1
+
+    def test_clear_empties_both_tiers(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        other = _spec(seed=9)
+        cache.put(spec, result)
+        cache.put(other, result)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(spec) is None
+        assert cache.stats().disk_entries == 0
