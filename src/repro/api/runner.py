@@ -10,8 +10,29 @@ from repro.analysis.validate import validate_result
 from repro.analysis.wirelength import wirelength_report
 from repro.api.registry import get_router
 from repro.api.spec import RunResult, RunSpec
+from repro.metrics import StageTimer, peak_rss_mb
 
 __all__ = ["run", "run_safe"]
+
+
+def _run_stats(timer: StageTimer, routing, started: float) -> dict:
+    """Assemble ``RunResult.stats`` from the stage timer and routing stats.
+
+    Per-stage construction times (select/merge/embed) come from the router's
+    :class:`MergeStats` when it recorded them; report/validate times from the
+    runner's own timer.  ``peak_rss_mb`` is the process high-water mark at the
+    end of the run (see :mod:`repro.metrics` for its semantics).
+    """
+    stats = dict(timer.seconds)
+    merge_stats = getattr(routing, "stats", None)
+    for name in ("select_seconds", "merge_seconds", "embed_seconds"):
+        value = getattr(merge_stats, name, None)
+        if value:
+            stats[name] = float(value)
+    stats["route_seconds"] = float(routing.elapsed_seconds)
+    stats["wall_seconds"] = time.perf_counter() - started
+    stats["peak_rss_mb"] = peak_rss_mb()
+    return stats
 
 
 def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
@@ -30,6 +51,7 @@ def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
             cheap to pickle and serialise.
     """
     started = time.perf_counter()
+    timer = StageTimer()
     instance = spec.instance.build()
     router = get_router(spec.router)
     routing = router.route(instance)
@@ -38,17 +60,23 @@ def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
     if spec.opt is not None and spec.opt.enabled and opt_report is None:
         from repro.opt.optimizer import optimize_routing
 
-        opt_report = optimize_routing(
-            routing, spec.opt, intra_bound_ps=spec.effective_bound_ps()
-        )
+        with timer.stage("opt_seconds"):
+            opt_report = optimize_routing(
+                routing, spec.opt, intra_bound_ps=spec.effective_bound_ps()
+            )
         routing.opt = opt_report
 
-    skew = skew_report(routing.tree)
+    with timer.stage("delay_seconds"):
+        skew = skew_report(routing.tree)
     wire = wirelength_report(routing.tree)
     validate_kwargs = {"intra_bound_ps": spec.effective_bound_ps()}
     if spec.locus_tolerance is not None:
         validate_kwargs["locus_tolerance"] = spec.locus_tolerance
-    issues = validate_result(routing, **validate_kwargs) if spec.validate else []
+    if spec.validate:
+        with timer.stage("validate_seconds"):
+            issues = validate_result(routing, **validate_kwargs)
+    else:
+        issues = []
     return RunResult(
         spec=spec,
         instance_name=instance.name,
@@ -62,6 +90,7 @@ def run(spec: RunSpec, keep_tree: bool = False) -> RunResult:
         route_seconds=routing.elapsed_seconds,
         total_seconds=time.perf_counter() - started,
         opt=opt_report,
+        stats=_run_stats(timer, routing, started),
         routing=routing if keep_tree else None,
     )
 
@@ -80,4 +109,8 @@ def run_safe(spec: RunSpec) -> RunResult:
             spec=spec,
             error="%s: %s\n%s" % (type(exc).__name__, exc, traceback.format_exc()),
             total_seconds=time.perf_counter() - started,
+            stats={
+                "wall_seconds": time.perf_counter() - started,
+                "peak_rss_mb": peak_rss_mb(),
+            },
         )

@@ -429,6 +429,11 @@ class RunResult:
     error: Optional[str] = None
     #: Post-construction optimizer report (when the spec enabled ``opt``).
     opt: Optional[OptReport] = None
+    #: Resource/stage measurements of the run (``peak_rss_mb``,
+    #: ``wall_seconds``, per-stage ``*_seconds``), shared verbatim by the
+    #: bench harness and the service ``/stats`` endpoint.  Excluded from
+    #: equality so cached results compare equal across re-runs.
+    stats: Dict[str, float] = field(default_factory=dict, compare=False)
     #: The full RoutingResult (tree, stats, loci); only populated by
     #: ``run(spec, keep_tree=True)`` and never serialised.
     routing: Optional[Any] = field(default=None, compare=False, repr=False)
@@ -467,6 +472,7 @@ class RunResult:
             "total_seconds": self.total_seconds,
             "error": self.error,
             "opt": None if self.opt is None else self.opt.to_dict(),
+            "stats": dict(self.stats),
             "ok": self.ok,
             "global_skew_ps": self.global_skew_ps,
             "max_intra_group_skew_ps": self.max_intra_group_skew_ps,
@@ -494,4 +500,5 @@ class RunResult:
             opt=None
             if data.get("opt") is None
             else OptReport.from_dict(data["opt"]),
+            stats=dict(data.get("stats", {})),
         )

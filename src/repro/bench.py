@@ -38,7 +38,6 @@ The JSON payload (see :func:`validate_bench_payload` for the schema) is what
 
 from __future__ import annotations
 
-import resource
 import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
@@ -46,15 +45,22 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.api.registry import RouterSpec
 from repro.api.runner import run
 from repro.api.spec import InstanceSpec, RunSpec
+from repro.metrics import peak_rss_mb
 from repro.opt.config import OptConfig
 
 __all__ = [
     "SCHEMA",
     "DEFAULT_SIZES",
     "SMOKE_SIZES",
+    "LARGE_SIZES",
+    "SMOKE_LARGE_SIZES",
     "SUITES",
     "GATE_SPEEDUP",
+    "GATE_BACKEND_SPEEDUP",
+    "LARGE_WALL_LIMITS",
+    "LARGE_RSS_LIMITS",
     "scaling_configs",
+    "large_configs",
     "run_suite",
     "validate_bench_payload",
     "format_rows",
@@ -64,13 +70,17 @@ __all__ = [
 #: v2 added the ``family`` row column (``uniform`` / ``blocked`` scenarios);
 #: v3 added the repair columns (``repaired``, ``skew_violations_pre``/``_post``,
 #: ``repaired_wirelength``) and typed gates (``kind``: speedup / repair);
-#: v4 adds the ``kind`` row discriminator (``routing`` / ``service``), the
+#: v4 added the ``kind`` row discriminator (``routing`` / ``service``), the
 #: top-level ``suite`` / ``smoke`` / ``service_sizes`` fields and the
-#: serving-side rows + gates of ``repro bench --suite service``.
-SCHEMA = "repro-bench/v4"
+#: serving-side rows + gates of ``repro bench --suite service``;
+#: v5 adds the ``tree_backend`` / ``merge_seconds`` / ``embed_seconds`` /
+#: ``delay_seconds`` row columns, the arena-vs-object identity rows + backend
+#: gates, and the ``--suite large`` sweep (50k/200k sinks) with its resource
+#: gates (wall/RSS ceilings) and the top-level ``large_sizes`` field.
+SCHEMA = "repro-bench/v5"
 
 #: The suites ``repro bench --suite`` can run.
-SUITES = ("scaling", "service", "all")
+SUITES = ("scaling", "large", "service", "all")
 
 #: Default sink counts of the scaling suite (the perf gate runs at the last).
 DEFAULT_SIZES = (500, 2000, 8000)
@@ -78,9 +88,28 @@ DEFAULT_SIZES = (500, 2000, 8000)
 #: Sink counts of the ``--smoke`` suite (seconds, not minutes; CI-friendly).
 SMOKE_SIZES = (60, 120)
 
+#: Sink counts of the large suite (the arena backend's home turf).
+LARGE_SIZES = (50000, 200000)
+
+#: Large-suite sizes under ``--smoke`` (one size CI can afford).
+SMOKE_LARGE_SIZES = (50000,)
+
 #: Wall-time improvement the gate demands of the incremental strategy over
 #: the scalar seed reference on the single-merge greedy-DME configuration.
 GATE_SPEEDUP = 5.0
+
+#: Wall-time improvement the backend gate demands of the arena tree core over
+#: the object walk on the largest scaling-size ast-dme row.
+GATE_BACKEND_SPEEDUP = 5.0
+
+#: Wall-time ceilings (seconds) of the large-suite resource gates, per sink
+#: count.  Measured arena walls are ~5.7s at 50k and ~30s at 200k on the
+#: reference machine; the ceilings leave ~4x headroom for slower CI hosts.
+LARGE_WALL_LIMITS = {50000: 30.0, 200000: 150.0}
+
+#: Peak-RSS ceilings (MB) of the large-suite resource gates, per sink count.
+#: Measured peaks are ~210MB at 50k and ~590MB at 200k (~2.5x headroom).
+LARGE_RSS_LIMITS = {50000: 600.0, 200000: 1600.0}
 
 #: Fraction of pre-repair skew violations that may survive the repair pass on
 #: the blocked scenario rows (the repair gate demands >= 90% elimination).
@@ -91,7 +120,8 @@ GATE_REPAIR_MAX_SURVIVING = 0.1
 ROW_KEYS = frozenset(
     {
         "kind", "label", "router", "num_sinks", "groups", "seed", "order",
-        "family", "neighbor_strategy", "wall_seconds", "select_seconds",
+        "family", "neighbor_strategy", "tree_backend", "wall_seconds",
+        "select_seconds", "merge_seconds", "embed_seconds", "delay_seconds",
         "total_seconds", "peak_rss_mb", "wirelength", "global_skew_ps",
         "max_intra_group_skew_ps", "num_nodes", "passes",
         "neighbor_full_rebuilds", "neighbor_incremental_passes",
@@ -115,6 +145,20 @@ SPEEDUP_GATE_KEYS = frozenset(
     {
         "kind", "name", "baseline_label", "candidate_label", "identity_label",
         "speedup", "threshold", "identical_results", "passed",
+    }
+)
+
+BACKEND_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "baseline_label", "candidate_label", "speedup",
+        "threshold", "identical_results", "passed",
+    }
+)
+
+RESOURCE_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "row_label", "wall_seconds", "max_wall_seconds",
+        "peak_rss_mb", "max_peak_rss_mb", "passed",
     }
 )
 
@@ -146,7 +190,8 @@ def scaling_configs(
     """
     configs: List[Dict[str, Any]] = []
     for n in sizes:
-        # Headline trajectory: default configuration per router.
+        # Headline trajectory: default configuration per router (the arena
+        # tree core since v5 -- it is the library default).
         for router, groups in (("ast-dme", 8), ("greedy-dme", 1), ("ext-bst", 1)):
             label = "%s-n%d" % (router, n)
             configs.append(
@@ -155,6 +200,7 @@ def scaling_configs(
                     "order": "multi",
                     "family": "uniform",
                     "neighbor_strategy": "incremental",
+                    "tree_backend": "arena",
                     "spec": RunSpec(
                         instance=InstanceSpec.from_random(n, seed=seed, groups=groups),
                         router=RouterSpec(router, {"skew_bound_ps": 10.0}),
@@ -162,7 +208,31 @@ def scaling_configs(
                     ).to_dict(),
                 }
             )
+        # Backend-identity row: the same ast-dme run on the object-walk tree
+        # core.  The backend gate asserts the arena headline row routes a
+        # bit-identical tree and, at the largest size, wins the wall clock.
+        label = "ast-dme-object-n%d" % n
+        configs.append(
+            {
+                "label": label,
+                "order": "multi",
+                "family": "uniform",
+                "neighbor_strategy": "incremental",
+                "tree_backend": "object",
+                "spec": RunSpec(
+                    instance=InstanceSpec.from_random(n, seed=seed, groups=8),
+                    router=RouterSpec(
+                        "ast-dme",
+                        {"skew_bound_ps": 10.0, "tree_backend": "object"},
+                    ),
+                    label=label,
+                ).to_dict(),
+            }
+        )
         # Perf-gate rows: strict single-merge order, one row per strategy.
+        # Pinned to the object tree core so the strategy speed-up trajectory
+        # keeps measuring the neighbour engines against the same merge loop
+        # the v1-v4 files measured.
         for strategy in ("scalar", "rebuild", "incremental"):
             label = "greedy-dme-single-%s-n%d" % (strategy, n)
             configs.append(
@@ -171,11 +241,16 @@ def scaling_configs(
                     "order": "single",
                     "family": "uniform",
                     "neighbor_strategy": strategy,
+                    "tree_backend": "object",
                     "spec": RunSpec(
                         instance=InstanceSpec.from_random(n, seed=seed),
                         router=RouterSpec(
                             "greedy-dme",
-                            {"multi_merge": False, "neighbor_strategy": strategy},
+                            {
+                                "multi_merge": False,
+                                "neighbor_strategy": strategy,
+                                "tree_backend": "object",
+                            },
                         ),
                         label=label,
                     ).to_dict(),
@@ -193,6 +268,7 @@ def scaling_configs(
                     "order": "multi",
                     "family": "blocked",
                     "neighbor_strategy": "incremental",
+                    "tree_backend": "arena",
                     "spec": RunSpec(
                         instance=InstanceSpec.from_family(
                             "blocked", n, seed=seed, groups=groups
@@ -203,6 +279,58 @@ def scaling_configs(
                     ).to_dict(),
                 }
             )
+    return configs
+
+
+def large_configs(
+    sizes: Sequence[int] = LARGE_SIZES, seed: int = 1
+) -> List[Dict[str, Any]]:
+    """The bench configurations of the large suite (``--suite large``).
+
+    One grouped ast-dme row and one single-group greedy-dme row per size --
+    both on the arena tree core, whose point is exactly this regime -- plus
+    one object-walk identity row at the smallest size so the backend gate
+    keeps asserting bit-identity where the object core is still affordable.
+    """
+    configs: List[Dict[str, Any]] = []
+    for n in sizes:
+        for router, groups in (("ast-dme", 8), ("greedy-dme", 1)):
+            label = "%s-large-n%d" % (router, n)
+            configs.append(
+                {
+                    "label": label,
+                    "order": "multi" if router == "ast-dme" else "single",
+                    "family": "uniform",
+                    "neighbor_strategy": "incremental",
+                    "tree_backend": "arena",
+                    "spec": RunSpec(
+                        instance=InstanceSpec.from_random(n, seed=seed, groups=groups),
+                        router=RouterSpec(
+                            router,
+                            {"skew_bound_ps": 10.0} if router == "ast-dme" else {},
+                        ),
+                        label=label,
+                    ).to_dict(),
+                }
+            )
+    n = min(sizes)
+    label = "ast-dme-large-object-n%d" % n
+    configs.append(
+        {
+            "label": label,
+            "order": "multi",
+            "family": "uniform",
+            "neighbor_strategy": "incremental",
+            "tree_backend": "object",
+            "spec": RunSpec(
+                instance=InstanceSpec.from_random(n, seed=seed, groups=8),
+                router=RouterSpec(
+                    "ast-dme", {"skew_bound_ps": 10.0, "tree_backend": "object"}
+                ),
+                label=label,
+            ).to_dict(),
+        }
+    )
     return configs
 
 
@@ -222,8 +350,12 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         "order": config["order"],
         "family": config["family"],
         "neighbor_strategy": config["neighbor_strategy"],
+        "tree_backend": config.get("tree_backend", "arena"),
         "wall_seconds": 0.0,
         "select_seconds": 0.0,
+        "merge_seconds": 0.0,
+        "embed_seconds": 0.0,
+        "delay_seconds": 0.0,
         "total_seconds": 0.0,
         "peak_rss_mb": 0.0,
         "wirelength": 0.0,
@@ -262,10 +394,13 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
     row.update(
         wall_seconds=result.route_seconds,
         select_seconds=stats.select_seconds,
+        merge_seconds=result.stats.get("merge_seconds", 0.0),
+        embed_seconds=result.stats.get("embed_seconds", 0.0),
+        delay_seconds=result.stats.get("delay_seconds", 0.0),
         total_seconds=result.total_seconds,
-        # ru_maxrss is KiB on Linux; the fresh worker process makes it a true
-        # per-run peak rather than the high-water mark of the whole suite.
-        peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        # The fresh worker process makes the RSS high-water mark a true
+        # per-run peak rather than the peak of the whole suite.
+        peak_rss_mb=peak_rss_mb(),
         wirelength=wirelength,
         global_skew_ps=result.global_skew_ps,
         max_intra_group_skew_ps=result.max_intra_group_skew_ps,
@@ -328,7 +463,112 @@ def _gates(
                 "passed": usable and identical and speedup >= required,
             }
         )
+    gates.extend(
+        _backend_gates(rows, sizes, GATE_BACKEND_SPEEDUP if threshold else 0.0)
+    )
     gates.extend(_repair_gates(rows, sizes))
+    return gates
+
+
+#: Row columns two runs must agree on exactly for an identity gate to pass.
+_IDENTITY_KEYS = (
+    "wirelength",
+    "global_skew_ps",
+    "max_intra_group_skew_ps",
+    "num_nodes",
+)
+
+
+def _backend_gate(
+    baseline: Optional[Dict[str, Any]],
+    candidate: Optional[Dict[str, Any]],
+    name: str,
+    threshold: float,
+) -> Optional[Dict[str, Any]]:
+    """One arena-vs-object gate: identical trees, and (when ``threshold`` is
+    non-zero) the arena candidate beats the object baseline's wall clock."""
+    if not baseline or not candidate:
+        return None
+    usable = baseline["ok"] and candidate["ok"]
+    speedup = (
+        baseline["wall_seconds"] / candidate["wall_seconds"]
+        if usable and candidate["wall_seconds"] > 0.0
+        else 0.0
+    )
+    identical = usable and all(
+        baseline[key] == candidate[key] for key in _IDENTITY_KEYS
+    )
+    return {
+        "kind": "backend",
+        "name": name,
+        "baseline_label": baseline["label"],
+        "candidate_label": candidate["label"],
+        "speedup": speedup,
+        "threshold": threshold,
+        "identical_results": identical,
+        "passed": usable and identical and speedup >= threshold,
+    }
+
+
+def _backend_gates(
+    rows: List[Dict[str, Any]], sizes: Sequence[int], threshold: float
+) -> List[Dict[str, Any]]:
+    """One gate per size comparing the arena headline ast-dme row against the
+    object identity row.  Identity is demanded everywhere; the speed-up
+    threshold only at the largest size (small runs are noise-bound)."""
+    by_label = {row["label"]: row for row in rows}
+    gates: List[Dict[str, Any]] = []
+    largest = max(sizes)
+    for n in sizes:
+        gate = _backend_gate(
+            by_label.get("ast-dme-object-n%d" % n),
+            by_label.get("ast-dme-n%d" % n),
+            "ast-dme-backend-n%d" % n,
+            threshold if n == largest else 0.0,
+        )
+        if gate is not None:
+            gates.append(gate)
+    return gates
+
+
+def _large_gates(
+    rows: List[Dict[str, Any]], sizes: Sequence[int], smoke: bool
+) -> List[Dict[str, Any]]:
+    """The large-suite gates: per-row wall/RSS ceilings (waived under
+    ``--smoke``, where only completion gates) plus the arena-vs-object
+    identity gate at the smallest size."""
+    gates: List[Dict[str, Any]] = []
+    for row in rows:
+        if row["tree_backend"] != "arena":
+            continue
+        max_wall = 0.0 if smoke else LARGE_WALL_LIMITS.get(row["num_sinks"], 0.0)
+        max_rss = 0.0 if smoke else LARGE_RSS_LIMITS.get(row["num_sinks"], 0.0)
+        within_wall = max_wall == 0.0 or row["wall_seconds"] <= max_wall
+        within_rss = max_rss == 0.0 or row["peak_rss_mb"] <= max_rss
+        gates.append(
+            {
+                "kind": "resource",
+                "name": "resource-%s" % row["label"],
+                "row_label": row["label"],
+                "wall_seconds": row["wall_seconds"],
+                "max_wall_seconds": max_wall,
+                "peak_rss_mb": row["peak_rss_mb"],
+                "max_peak_rss_mb": max_rss,
+                "passed": row["ok"] and within_wall and within_rss,
+            }
+        )
+    by_label = {row["label"]: row for row in rows}
+    n = min(sizes)
+    gate = _backend_gate(
+        by_label.get("ast-dme-large-object-n%d" % n),
+        by_label.get("ast-dme-large-n%d" % n),
+        "ast-dme-backend-large-n%d" % n,
+        # The large identity row exists precisely where the arena core wins
+        # big; demand the speed-up outside smoke mode.
+        0.0 if smoke else GATE_BACKEND_SPEEDUP,
+    )
+    if gate is not None:
+        gates.append(gate)
     return gates
 
 
@@ -362,6 +602,26 @@ def _repair_gates(rows: List[Dict[str, Any]], sizes: Sequence[int]) -> List[Dict
     return gates
 
 
+def _run_configs(
+    configs: List[Dict[str, Any]], progress=None
+) -> List[Dict[str, Any]]:
+    """Execute bench configs sequentially, one fresh worker process each.
+
+    A fresh single-use pool per run: each row executes in its own child
+    process, so peak-RSS is a true per-run measurement and runs cannot warm
+    each other's caches.  (Recreating the pool is the 3.8-compatible
+    equivalent of max_tasks_per_child=1, which needs Python 3.11.)
+    """
+    rows: List[Dict[str, Any]] = []
+    for config in configs:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            row = pool.submit(_bench_worker, config).result()
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows
+
+
 def run_suite(
     sizes: Optional[Sequence[int]] = None,
     seed: int = 1,
@@ -369,6 +629,7 @@ def run_suite(
     progress=None,
     suite: str = "scaling",
     service_sizes: Optional[Sequence[int]] = None,
+    large_sizes: Optional[Sequence[int]] = None,
 ) -> Dict[str, Any]:
     """Run the requested suite(s) and return the ``BENCH_*.json`` payload.
 
@@ -377,13 +638,16 @@ def run_suite(
             or the tiny smoke sizes with ``smoke=True``).
         seed: instance seed shared by every run.
         smoke: run the CI-sized suite: tiny instances, and the speed-up /
-            latency thresholds are waived (identity and hit-rate still gate)
-            because sub-second runs are dominated by noise.
+            latency / resource thresholds are waived (identity and hit-rate
+            still gate) because sub-second runs are dominated by noise.
         progress: optional callable invoked with each finished row.
-        suite: ``"scaling"`` (construction-side rows + gates), ``"service"``
-            (the :mod:`repro.service` load harness) or ``"all"`` (both).
+        suite: ``"scaling"`` (construction-side rows + gates), ``"large"``
+            (the 50k/200k arena sweep with resource gates), ``"service"``
+            (the :mod:`repro.service` load harness) or ``"all"`` (every one).
         service_sizes: sink counts of the service load suite (defaults to
             500/2000, or 120 with ``smoke=True``).
+        large_sizes: sink counts of the large suite (defaults to 50k/200k,
+            or 50k with ``smoke=True``).
     """
     if suite not in SUITES:
         raise ValueError("unknown bench suite %r; expected one of %s" % (suite, SUITES))
@@ -396,18 +660,21 @@ def run_suite(
     scaling_sizes: List[int] = []
     if suite in ("scaling", "all"):
         scaling_sizes = list(sizes)
-        configs = scaling_configs(scaling_sizes, seed=seed)
-        # A fresh single-use pool per run: each row executes in its own child
-        # process, so peak-RSS is a true per-run measurement and runs stay
-        # sequential.  (Recreating the pool is the 3.8-compatible equivalent
-        # of max_tasks_per_child=1, which needs Python 3.11.)
-        for config in configs:
-            with ProcessPoolExecutor(max_workers=1) as pool:
-                row = pool.submit(_bench_worker, config).result()
-            rows.append(row)
-            if progress is not None:
-                progress(row)
+        rows.extend(_run_configs(scaling_configs(scaling_sizes, seed=seed), progress))
         gates.extend(_gates(rows, scaling_sizes, threshold))
+    used_large_sizes: List[int] = []
+    if suite in ("large", "all"):
+        if large_sizes is None:
+            # ``--suite large --sizes ...`` applies the explicit sizes to the
+            # one suite being run; for ``all`` each suite has its own.
+            if suite == "large" and explicit_sizes:
+                large_sizes = sizes
+            else:
+                large_sizes = SMOKE_LARGE_SIZES if smoke else LARGE_SIZES
+        used_large_sizes = list(large_sizes)
+        large_rows = _run_configs(large_configs(used_large_sizes, seed=seed), progress)
+        rows.extend(large_rows)
+        gates.extend(_large_gates(large_rows, used_large_sizes, smoke))
     used_service_sizes: List[int] = []
     if suite in ("service", "all"):
         from repro.service.loadtest import (
@@ -435,6 +702,7 @@ def run_suite(
         "smoke": smoke,
         "seed": seed,
         "sizes": scaling_sizes,
+        "large_sizes": used_large_sizes,
         "service_sizes": used_service_sizes,
         "rows": rows,
         "gates": gates,
@@ -456,7 +724,10 @@ def validate_bench_payload(payload: Any) -> None:
         raise ValueError(
             "unknown bench schema %r (expected %r)" % (payload.get("schema"), SCHEMA)
         )
-    for key in ("suite", "smoke", "seed", "sizes", "service_sizes", "rows", "gates"):
+    for key in (
+        "suite", "smoke", "seed", "sizes", "large_sizes", "service_sizes",
+        "rows", "gates",
+    ):
         if key not in payload:
             raise ValueError("bench payload misses key %r" % key)
     if payload["suite"] not in SUITES:
@@ -488,6 +759,10 @@ def validate_bench_payload(payload: Any) -> None:
         kind = gate.get("kind")
         if kind == "speedup":
             expected = SPEEDUP_GATE_KEYS
+        elif kind == "backend":
+            expected = BACKEND_GATE_KEYS
+        elif kind == "resource":
+            expected = RESOURCE_GATE_KEYS
         elif kind == "repair":
             expected = REPAIR_GATE_KEYS
         elif kind == "service":
@@ -503,29 +778,58 @@ def validate_bench_payload(payload: Any) -> None:
             )
 
 
-def format_rows(payload: Dict[str, Any]) -> str:
-    """A human-readable table of a bench payload (what ``repro bench`` prints)."""
+def format_rows(payload: Dict[str, Any], profile: bool = False) -> str:
+    """A human-readable table of a bench payload (what ``repro bench`` prints).
+
+    With ``profile=True`` (the CLI's ``--profile`` flag) the routing table
+    carries the per-stage construction breakdown -- select / merge / embed /
+    delay seconds -- instead of the compact default columns.
+    """
     lines = []
     routing = [row for row in payload["rows"] if row["kind"] == "routing"]
     service = [row for row in payload["rows"] if row["kind"] == "service"]
-    if routing:
+    if routing and profile:
+        lines.append(
+            "%-36s %7s %9s %9s %9s %9s %9s %9s"
+            % (
+                "label", "backend", "wall s", "select s", "merge s",
+                "embed s", "delay s", "rss MB",
+            )
+        )
+        for row in routing:
+            status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
+            lines.append(
+                "%-36s %7s %9.3f %9.3f %9.3f %9.3f %9.3f %9.1f%s"
+                % (
+                    row["label"],
+                    row["tree_backend"],
+                    row["wall_seconds"],
+                    row["select_seconds"],
+                    row["merge_seconds"],
+                    row["embed_seconds"],
+                    row["delay_seconds"],
+                    row["peak_rss_mb"],
+                    status,
+                )
+            )
+    elif routing:
         lines.append(
             "%-36s %9s %9s %9s %12s"
             % ("label", "wall s", "select s", "rss MB", "wirelength")
         )
-    for row in routing:
-        status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
-        lines.append(
-            "%-36s %9.3f %9.3f %9.1f %12.0f%s"
-            % (
-                row["label"],
-                row["wall_seconds"],
-                row["select_seconds"],
-                row["peak_rss_mb"],
-                row["wirelength"],
-                status,
+        for row in routing:
+            status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
+            lines.append(
+                "%-36s %9.3f %9.3f %9.1f %12.0f%s"
+                % (
+                    row["label"],
+                    row["wall_seconds"],
+                    row["select_seconds"],
+                    row["peak_rss_mb"],
+                    row["wirelength"],
+                    status,
+                )
             )
-        )
     if service:
         lines.append(
             "%-36s %9s %9s %9s %9s %9s"
@@ -556,6 +860,29 @@ def format_rows(payload: Dict[str, Any]) -> str:
                     gate["hot_speedup"],
                     gate["speedup_threshold"],
                     gate["identical_results"],
+                    "PASS" if gate["passed"] else "FAIL",
+                )
+            )
+            continue
+        if gate["kind"] == "resource":
+            wall_limit = (
+                "(<= %.0fs)" % gate["max_wall_seconds"]
+                if gate["max_wall_seconds"]
+                else "(waived)"
+            )
+            rss_limit = (
+                "(<= %.0fMB)" % gate["max_peak_rss_mb"]
+                if gate["max_peak_rss_mb"]
+                else "(waived)"
+            )
+            lines.append(
+                "gate %-31s wall %.1fs %s  rss %.0fMB %s  %s"
+                % (
+                    gate["name"],
+                    gate["wall_seconds"],
+                    wall_limit,
+                    gate["peak_rss_mb"],
+                    rss_limit,
                     "PASS" if gate["passed"] else "FAIL",
                 )
             )

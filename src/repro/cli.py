@@ -244,10 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("scaling", "service", "all"),
+        choices=("scaling", "large", "service", "all"),
         default="scaling",
         help="which suite to run: the construction-side scaling sweep, the "
-        "serving-side load test, or both (default: scaling)",
+        "large-instance sweep (50k/200k sinks, resource gates), the "
+        "serving-side load test, or all of them (default: scaling)",
     )
     bench.add_argument(
         "--service-sizes",
@@ -274,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="tiny CI-sized suite: same schema, speed-up threshold waived",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage construction breakdown (select/merge/embed/"
+        "delay seconds) instead of the compact columns",
     )
     bench.add_argument(
         "--json", action="store_true", help="also print the full JSON payload"
@@ -513,7 +520,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(format_rows(payload))
+    print(format_rows(payload, profile=args.profile))
     print("wrote %s" % args.out)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))

@@ -43,7 +43,23 @@ from repro.cts.tree import ClockTree
 from repro.delay.technology import Technology
 from repro.geometry.trr import Trr
 
-__all__ = ["AstDmeConfig", "MergeStats", "RoutingResult", "AstDme"]
+__all__ = [
+    "AstDmeConfig",
+    "MergeStats",
+    "RoutingResult",
+    "AstDme",
+    "TREE_BACKENDS",
+    "ARENA_MAX_GROUPS",
+]
+
+#: Supported tree-core backends.
+TREE_BACKENDS = ("arena", "object")
+
+#: The arena backend stores per-group delay intervals densely as an
+#: ``(m, G, 2)`` array; beyond this many distinct routing groups the dense
+#: layout stops paying for itself and the router silently falls back to the
+#: object backend (which is bit-identical anyway).
+ARENA_MAX_GROUPS = 64
 
 
 @dataclass(frozen=True)
@@ -81,6 +97,19 @@ class AstDmeConfig:
     #: tree and attaches the OptReport to the RoutingResult.  ``None`` (the
     #: default) keeps routing bit-identical to previous releases.
     opt: Optional["OptConfig"] = None
+    #: Tree-core backend: "arena" (struct-of-arrays state, batched merge
+    #: planning and vectorised embedding; the default) or "object" (the
+    #: per-``Subtree`` reference implementation, kept as the bit-identity
+    #: oracle).  Both backends produce float-for-float identical trees and
+    #: statistics; see docs/architecture.md.
+    tree_backend: str = "arena"
+
+    def __post_init__(self) -> None:
+        if self.tree_backend not in TREE_BACKENDS:
+            raise ValueError(
+                "unknown tree_backend %r; expected one of %s"
+                % (self.tree_backend, TREE_BACKENDS)
+            )
 
     def order_policy(self) -> MergeOrderPolicy:
         """The merging-order policy implied by this configuration."""
@@ -109,6 +138,12 @@ class MergeStats:
     max_violation: float = 0.0
     #: Wall time spent selecting merge pairs (the neighbour engine).
     select_seconds: float = 0.0
+    #: Wall time spent resolving pendings, planning merges and materialising
+    #: the new nodes (everything in a merging pass after pair selection).
+    merge_seconds: float = 0.0
+    #: Wall time spent embedding locations (plus, for the arena backend,
+    #: materialising the ClockTree).
+    embed_seconds: float = 0.0
     #: Full neighbour-index rebuilds / incremental repairs (incremental
     #: strategy only; both stay 0 for the stateless strategies).
     neighbor_full_rebuilds: int = 0
@@ -179,6 +214,10 @@ class AstDme:
                 baselines.  Sink nodes of the resulting tree still carry the
                 original group ids so that skew reports stay comparable.
         """
+        if self._arena_eligible(instance, single_group):
+            from repro.core.arena_dme import route_arena
+
+            return route_arena(self, instance, single_group)
         start = time.perf_counter()
         tech = instance.technology
         constraints = self._constraints or self.config.constraints()
@@ -215,6 +254,7 @@ class AstDme:
             if not pairs:
                 raise RuntimeError("merging-order policy returned no pairs")
             stats.passes += 1
+            merge_start = time.perf_counter()
             merged_indices = set()
             new_subtrees: List[Subtree] = []
             for index_a, index_b in pairs:
@@ -261,6 +301,7 @@ class AstDme:
             subtrees = [
                 s for i, s in enumerate(subtrees) if i not in merged_indices
             ] + new_subtrees
+            stats.merge_seconds += time.perf_counter() - merge_start
 
         root_subtree = subtrees[0]
         resolve_pending(
@@ -275,25 +316,13 @@ class AstDme:
         tree.add_source(instance.source, root_subtree.node_id, source_edge)
 
         obstacles = instance.obstacle_set() if instance.has_obstacles else None
+        embed_start = time.perf_counter()
         stats.obstacle_detour = embed_tree(tree, loci, obstacles=obstacles)
+        stats.embed_seconds += time.perf_counter() - embed_start
         stats.neighbor_full_rebuilds = selector.full_rebuilds
         stats.neighbor_incremental_passes = selector.incremental_passes
 
-        opt_report = None
-        if self.config.opt is not None and self.config.opt.enabled:
-            from repro.opt.optimizer import Optimizer
-
-            bound_fn = constraints.bound_for
-            if self.config.opt.skew_bound_ps is not None:
-                override = Technology.ps_to_internal(self.config.opt.skew_bound_ps)
-                bound_fn = lambda group: override  # noqa: E731 - trivial closure
-            opt_report = Optimizer(self.config.opt).optimize(
-                tree,
-                bound_for=bound_fn,
-                obstacles=obstacles,
-                loci=loci,
-                single_group=single_group,
-            )
+        opt_report = self._run_opt(tree, constraints, obstacles, loci, single_group)
 
         elapsed = time.perf_counter() - start
         return RoutingResult(
@@ -308,6 +337,38 @@ class AstDme:
         )
 
     # ------------------------------------------------------------------
+    def _arena_eligible(self, instance: ClockInstance, single_group: bool) -> bool:
+        """Whether this run goes through the arena construction loop."""
+        if self.config.tree_backend != "arena":
+            return False
+        num_groups = 1 if single_group else instance.num_groups
+        return num_groups <= ARENA_MAX_GROUPS
+
+    def _run_opt(
+        self,
+        tree: ClockTree,
+        constraints: SkewConstraints,
+        obstacles,
+        loci: Dict[int, Trr],
+        single_group: bool,
+    ) -> Optional["OptReport"]:
+        """Run the configured post-construction optimizer, if any."""
+        if self.config.opt is None or not self.config.opt.enabled:
+            return None
+        from repro.opt.optimizer import Optimizer
+
+        bound_fn = constraints.bound_for
+        if self.config.opt.skew_bound_ps is not None:
+            override = Technology.ps_to_internal(self.config.opt.skew_bound_ps)
+            bound_fn = lambda group: override  # noqa: E731 - trivial closure
+        return Optimizer(self.config.opt).optimize(
+            tree,
+            bound_for=bound_fn,
+            obstacles=obstacles,
+            loci=loci,
+            single_group=single_group,
+        )
+
     def _skew_budget(self, subtree: Subtree, constraints: SkewConstraints) -> float:
         """Delay deviation a lazy resolution of ``subtree`` may spend.
 

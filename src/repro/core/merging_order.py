@@ -127,6 +127,35 @@ class MergeOrderPolicy:
         scale = self.delay_target_weight * extent / max(len(subtrees), 1)
         return [-scale * (d / largest) for d in max_delays]
 
+    def _delay_bias_arrays(self, loci_arr, max_delays) -> "object":
+        """:meth:`_delay_bias` over the arena backend's native arrays.
+
+        Same expressions elementwise (and therefore the same float values and
+        the same selected pairs) with the subtree attributes read from the
+        ``(n, 4)`` locus array and the dense max-delay vector.
+        """
+        import numpy as np
+
+        n = len(loci_arr)
+        largest = float(max_delays.max())
+        if largest <= 0.0:
+            return np.zeros(n)
+        spans = np.maximum(
+            loci_arr[:, 1] - loci_arr[:, 0], loci_arr[:, 3] - loci_arr[:, 2]
+        )
+        cu = (loci_arr[:, 0] + loci_arr[:, 1]) / 2.0
+        cv = (loci_arr[:, 2] + loci_arr[:, 3]) / 2.0
+        xs = (cu + cv) / 2.0
+        ys = (cu - cv) / 2.0
+        extent = max(
+            float(xs.max()) - float(xs.min()),
+            float(ys.max()) - float(ys.min()),
+            float(spans.max()),
+            1.0,
+        )
+        scale = self.delay_target_weight * extent / max(n, 1)
+        return -(scale * (max_delays / largest))
+
 
 class MergePairSelector:
     """Per-run pair selection: a policy plus its candidate-search state.
@@ -187,5 +216,53 @@ class MergePairSelector:
                 cost_bias=bias,
                 k_candidates=policy.neighbor_candidates,
                 engine="scalar" if policy.neighbor_strategy == "scalar" else "vectorized",
+            )
+        return list(pairing.pairs)
+
+    def pairs_for_pass_arrays(self, loci_arr, node_ids, max_delays=None) -> List[Tuple[int, int]]:
+        """:meth:`pairs_for_pass` for the arena backend's native arrays.
+
+        ``loci_arr`` is the ``(n, 4)`` locus-interval array, ``node_ids`` the
+        parallel stable keys and ``max_delays`` the dense per-subtree max
+        delay (only read when delay-target ordering is enabled).  Every
+        strategy selects exactly the pairs it would select from the
+        equivalent ``Subtree`` list; the scalar oracle strategy materialises
+        ``Trr`` objects because its per-pair reference arithmetic is defined
+        on them.
+        """
+        policy = self.policy
+        n = len(loci_arr)
+        if n < 2:
+            return []
+        if policy.multi_merge:
+            max_pairs = max(1, int(round(policy.merge_fraction * (n // 2))))
+        else:
+            max_pairs = 1
+
+        bias = (
+            policy._delay_bias_arrays(loci_arr, max_delays)
+            if policy.delay_target_weight > 0.0
+            else None
+        )
+        if self._index is not None:
+            pairing = self._index.select_pairs(loci_arr, node_ids, max_pairs, bias)
+        elif policy.neighbor_strategy == "scalar":
+            from repro.geometry.trr import Trr
+
+            loci = [Trr(row[0], row[1], row[2], row[3]) for row in loci_arr.tolist()]
+            pairing = select_merge_pairs(
+                loci,
+                max_pairs=max_pairs,
+                cost_bias=None if bias is None else bias.tolist(),
+                k_candidates=policy.neighbor_candidates,
+                engine="scalar",
+            )
+        else:
+            pairing = select_merge_pairs(
+                loci_arr,
+                max_pairs=max_pairs,
+                cost_bias=bias,
+                k_candidates=policy.neighbor_candidates,
+                engine="vectorized",
             )
         return list(pairing.pairs)

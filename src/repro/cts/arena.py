@@ -1,0 +1,262 @@
+"""Struct-of-arrays (arena) view of a :class:`~repro.cts.tree.ClockTree`.
+
+The object tree stores one Python ``ClockNode`` per node, which is ideal for
+incremental construction and small-tree analysis but caps routing around a
+few thousand sinks: every merge, embedding step and Elmore walk pays Python
+attribute/dict overhead per node.  ``TreeArena`` is the scalable counterpart:
+one contiguous numpy array per attribute, indexed by node id.
+
+Layout (``n`` nodes, ``e = n - #roots`` edges)::
+
+    kinds         (n,)  int8     0 = sink, 1 = internal, 2 = source
+    parents       (n,)  int64    parent node id, -1 for roots
+    edge_lengths  (n,)  float64  wire length to the parent (0 for roots);
+                                 may exceed Manhattan distance when snaked
+    xs, ys        (n,)  float64  embedded location (NaN when unset)
+    has_location  (n,)  bool
+    sink_caps     (n,)  float64  load capacitance (0 for non-sinks)
+    groups        (n,)  int64    sink group id (only valid where has_group)
+    has_group     (n,)  bool
+    names         list[Optional[str]]
+    root          int            root node id, -1 when the tree has no root
+    child_offsets (n+1,) int64   CSR row pointers into child_ids
+    child_ids     (e,)  int64    children in attach order (order matters:
+                                 sequential float accumulation in the Elmore
+                                 walk follows it)
+
+Invariants:
+
+* Node ids are contiguous ``0..n-1`` in insertion order (this is true of
+  every ``ClockTree`` the routers build; :meth:`from_clock_tree` rejects
+  anything else).
+* ``child_ids`` preserves ``ClockNode.children`` order exactly, so any
+  order-sensitive float accumulation replays bit-identically.
+* Conversion is lossless: ``TreeArena.from_clock_tree(t).to_clock_tree()``
+  reproduces ``t`` node for node (ids, kinds, topology, children order,
+  locations, edge lengths, caps, groups, names, root).
+
+The arena also memoises the derived orders used by the vectorized kernels:
+nodes grouped by depth (for top-down passes) and by height above the leaves
+(for bottom-up passes), plus reachability from the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+__all__ = ["TreeArena", "SINK_KIND", "INTERNAL_KIND", "SOURCE_KIND"]
+
+SINK_KIND = 0
+INTERNAL_KIND = 1
+SOURCE_KIND = 2
+
+_KIND_CODES = {"sink": SINK_KIND, "internal": INTERNAL_KIND, "source": SOURCE_KIND}
+_KIND_NAMES = ("sink", "internal", "source")
+
+
+@dataclass
+class TreeArena:
+    """Contiguous-array snapshot of a clock tree (see module docstring)."""
+
+    kinds: np.ndarray
+    parents: np.ndarray
+    edge_lengths: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    has_location: np.ndarray
+    sink_caps: np.ndarray
+    groups: np.ndarray
+    has_group: np.ndarray
+    names: List[Optional[str]]
+    root: int
+    child_offsets: np.ndarray
+    child_ids: np.ndarray
+    technology: object = None
+
+    _depth_levels: Optional[List[np.ndarray]] = field(default=None, repr=False)
+    _height_levels: Optional[List[np.ndarray]] = field(default=None, repr=False)
+    _reachable: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.kinds)
+
+    def child_counts(self) -> np.ndarray:
+        return self.child_offsets[1:] - self.child_offsets[:-1]
+
+    def children_of(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """All children of ``nodes`` gathered from the CSR arrays.
+
+        Returns ``(children, parent_index)`` where ``parent_index[k]`` is the
+        position in ``nodes`` whose child ``children[k]`` is; children of one
+        node appear in attach order.
+        """
+        starts = self.child_offsets[nodes]
+        counts = self.child_offsets[nodes + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        rep_starts = np.repeat(starts, counts)
+        offs = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        inner = np.arange(total, dtype=np.int64) - np.repeat(offs, counts)
+        parent_index = np.repeat(np.arange(len(nodes), dtype=np.int64), counts)
+        return self.child_ids[rep_starts + inner], parent_index
+
+    # ------------------------------------------------------------------
+    # Derived orders
+    # ------------------------------------------------------------------
+    def depth_levels(self) -> List[np.ndarray]:
+        """Node ids grouped by depth: levels[0] are the roots, levels[d+1]
+        the children of levels[d].  Raises on cyclic structures."""
+        if self._depth_levels is None:
+            levels: List[np.ndarray] = []
+            frontier = np.flatnonzero(self.parents < 0).astype(np.int64)
+            seen = 0
+            while frontier.size:
+                levels.append(frontier)
+                seen += len(frontier)
+                frontier, _ = self.children_of(frontier)
+            if seen != self.num_nodes:
+                raise ValueError("tree structure contains a cycle")
+            self._depth_levels = levels
+        return self._depth_levels
+
+    def height_levels(self) -> List[np.ndarray]:
+        """Node ids grouped by height above the leaves: levels[0] are leaves,
+        and every child of a node in levels[h] lives strictly below h."""
+        if self._height_levels is None:
+            n = self.num_nodes
+            heights = np.zeros(n, dtype=np.int64)
+            for level in reversed(self.depth_levels()):
+                parents = self.parents[level]
+                mask = parents >= 0
+                if mask.any():
+                    np.maximum.at(heights, parents[mask], heights[level[mask]] + 1)
+            order = np.argsort(heights, kind="stable")
+            sorted_heights = heights[order]
+            bounds = np.searchsorted(
+                sorted_heights, np.arange(sorted_heights[-1] + 2 if n else 1)
+            )
+            self._height_levels = [
+                order[bounds[h] : bounds[h + 1]]
+                for h in range(len(bounds) - 1)
+                if bounds[h + 1] > bounds[h]
+            ]
+        return self._height_levels
+
+    def reachable_mask(self) -> np.ndarray:
+        """Boolean mask of nodes reachable from the tree root (all False when
+        the tree has no root yet)."""
+        if self._reachable is None:
+            reach = np.zeros(self.num_nodes, dtype=bool)
+            if self.root >= 0:
+                reach[self.root] = True
+                for level in self.depth_levels():
+                    children, parent_index = self.children_of(level)
+                    if children.size:
+                        reach[children] = reach[level[parent_index]]
+            self._reachable = reach
+        return self._reachable
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_clock_tree(cls, tree) -> "TreeArena":
+        """Snapshot ``tree`` into arrays.  Requires contiguous node ids."""
+        n = len(tree)
+        kinds = np.empty(n, dtype=np.int8)
+        parents = np.full(n, -1, dtype=np.int64)
+        edge_lengths = np.zeros(n, dtype=np.float64)
+        xs = np.full(n, np.nan, dtype=np.float64)
+        ys = np.full(n, np.nan, dtype=np.float64)
+        has_location = np.zeros(n, dtype=bool)
+        sink_caps = np.zeros(n, dtype=np.float64)
+        groups = np.zeros(n, dtype=np.int64)
+        has_group = np.zeros(n, dtype=bool)
+        names: List[Optional[str]] = [None] * n
+        counts = np.zeros(n + 1, dtype=np.int64)
+
+        node_list = list(tree.nodes())
+        for i, node in enumerate(node_list):
+            if node.node_id != i:
+                raise ValueError(
+                    "arena conversion requires contiguous node ids (saw id %d "
+                    "at position %d)" % (node.node_id, i)
+                )
+            kinds[i] = _KIND_CODES[node.kind]
+            if node.parent is not None:
+                parents[i] = node.parent
+            edge_lengths[i] = node.edge_length
+            if node.location is not None:
+                xs[i] = node.location.x
+                ys[i] = node.location.y
+                has_location[i] = True
+            sink_caps[i] = node.sink_cap
+            if node.group is not None:
+                groups[i] = node.group
+                has_group[i] = True
+            names[i] = node.name
+            counts[i + 1] = len(node.children)
+
+        child_offsets = np.cumsum(counts)
+        child_ids = np.empty(int(child_offsets[-1]), dtype=np.int64)
+        for i, node in enumerate(node_list):
+            if node.children:
+                child_ids[child_offsets[i] : child_offsets[i + 1]] = node.children
+
+        return cls(
+            kinds=kinds,
+            parents=parents,
+            edge_lengths=edge_lengths,
+            xs=xs,
+            ys=ys,
+            has_location=has_location,
+            sink_caps=sink_caps,
+            groups=groups,
+            has_group=has_group,
+            names=names,
+            root=-1 if tree.root_id is None else tree.root_id,
+            child_offsets=child_offsets,
+            child_ids=child_ids,
+            technology=tree.technology,
+        )
+
+    def to_clock_tree(self):
+        """Rebuild the object tree this arena describes.
+
+        Nodes are materialised directly (the arena came from a validated tree
+        or the validated construction loop, so the incremental-construction
+        checks of the public API would only re-prove what already holds);
+        ids, children order, attributes and the root are reproduced exactly.
+        """
+        from repro.cts.tree import ClockNode, ClockTree
+
+        tree = ClockTree(technology=self.technology)
+        offsets = self.child_offsets
+        for i in range(self.num_nodes):
+            location = None
+            if self.has_location[i]:
+                location = Point(float(self.xs[i]), float(self.ys[i]))
+            parent = int(self.parents[i])
+            tree._nodes[i] = ClockNode(
+                node_id=i,
+                kind=_KIND_NAMES[self.kinds[i]],
+                location=location,
+                parent=None if parent < 0 else parent,
+                children=[int(c) for c in self.child_ids[offsets[i] : offsets[i + 1]]],
+                edge_length=float(self.edge_lengths[i]),
+                sink_cap=float(self.sink_caps[i]),
+                group=int(self.groups[i]) if self.has_group[i] else None,
+                name=self.names[i],
+            )
+        tree._next_id = self.num_nodes
+        tree.root_id = None if self.root < 0 else self.root
+        return tree

@@ -290,7 +290,8 @@ class NeighborIndex:
         if (int(np.count_nonzero(dirty)) + num_fresh) / n > self.staleness_threshold:
             return False
 
-        fresh_arr = loci_to_array([loci[t] for t in range(m, n)])
+        # Slicing keeps this agnostic to list-of-Trr vs (n, 4) array input.
+        fresh_arr = loci_to_array(loci[m:n])
         arr = np.concatenate([self._arr[surv_pos], fresh_arr])
         centres = np.concatenate([self._centres[surv_pos], locus_centres(fresh_arr)])
         fresh_rows = np.arange(m, n, dtype=np.int64)

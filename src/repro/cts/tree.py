@@ -66,6 +66,11 @@ class ClockTree:
         self._nodes: Dict[int, ClockNode] = {}
         self._next_id = 0
         self.root_id: Optional[int] = None
+        # Arena snapshot cache: any structural or attribute mutation bumps
+        # _mutations, invalidating the cached struct-of-arrays view.
+        self._mutations = 0
+        self._arena = None
+        self._arena_version = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -136,20 +141,35 @@ class ClockTree:
         parent.children.append(child_id)
         child.parent = parent_id
         child.edge_length = edge_length
+        self._mutations += 1
 
     def set_location(self, node_id: int, location: Point) -> None:
         """Record the embedded location of a node."""
         self.node(node_id).location = location
+        self._mutations += 1
 
     def set_edge_length(self, node_id: int, edge_length: float) -> None:
         """Update the wire length between ``node_id`` and its parent."""
         if edge_length < 0.0:
             raise ValueError("edge length must be non-negative")
         self.node(node_id).edge_length = edge_length
+        self._mutations += 1
+
+    def mark_mutated(self) -> None:
+        """Invalidate cached derived views after direct node mutations.
+
+        Bulk editors (the opt passes' snapshot/restore loops) write
+        ``node.edge_length`` / ``node.location`` in place instead of going
+        through the setters above; they must call this once afterwards or the
+        cached arena snapshot — and everything computed from it, such as the
+        array Elmore engine — keeps serving the pre-mutation tree.
+        """
+        self._mutations += 1
 
     def _add_node(self, node: ClockNode) -> int:
         self._nodes[node.node_id] = node
         self._next_id += 1
+        self._mutations += 1
         return node.node_id
 
     # ------------------------------------------------------------------
@@ -246,6 +266,21 @@ class ClockTree:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def as_arena(self):
+        """A struct-of-arrays snapshot of this tree (see repro.cts.arena).
+
+        The snapshot is cached and reused until the next mutation (node
+        addition, attach, location or edge-length update), so repeated
+        analysis passes over an unchanged tree pay the conversion once.
+        Callers must treat the returned arena as read-only.
+        """
+        if self._arena is None or self._arena_version != self._mutations:
+            from repro.cts.arena import TreeArena
+
+            self._arena = TreeArena.from_clock_tree(self)
+            self._arena_version = self._mutations
+        return self._arena
+
     def to_networkx(self):
         """The tree as a ``networkx.DiGraph`` (edges point from parent to child)."""
         import networkx as nx

@@ -6,25 +6,73 @@ both using the stored wire lengths (which include any snaking).  The
 independent :class:`repro.delay.rc_tree.RcTree` oracle re-derives the same
 numbers through an explicit node-by-node RC network and is used to verify this
 module in the test-suite.
+
+Two engines compute the same numbers:
+
+``object``
+    The per-node reference walk over ``ClockNode`` objects (the historical
+    code path).
+
+``arena``
+    Array passes over the tree's struct-of-arrays snapshot
+    (:meth:`~repro.cts.tree.ClockTree.as_arena`): capacitances accumulate
+    bottom-up over height levels, delays propagate top-down over depth
+    levels.  Child contributions are added slot-by-slot in attach order, so
+    every float accumulation replays the object walk bit for bit.
+
+``engine="auto"`` (the default) picks ``arena`` for trees of
+:data:`ARENA_THRESHOLD` nodes or more, where the conversion cost is repaid
+many times over, and the object walk below it.  Both engines return exactly
+equal dictionaries, which the test-suite asserts.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.delay.wire import wire_capacitance, wire_delay
 
-__all__ = ["subtree_capacitances", "elmore_delays", "sink_delays"]
+__all__ = [
+    "subtree_capacitances",
+    "elmore_delays",
+    "sink_delays",
+    "ELMORE_ENGINES",
+    "ARENA_THRESHOLD",
+]
+
+#: Supported delay-evaluation engines.
+ELMORE_ENGINES = ("auto", "arena", "object")
+
+#: Node count at which ``engine="auto"`` switches to the arena passes.
+ARENA_THRESHOLD = 2048
 
 
-def subtree_capacitances(tree) -> Dict[int, float]:
-    """Downstream capacitance seen at every node of ``tree``.
+def _use_arena(tree, engine: str) -> bool:
+    if engine not in ELMORE_ENGINES:
+        raise ValueError(
+            "unknown elmore engine %r; expected one of %s" % (engine, ELMORE_ENGINES)
+        )
+    if engine == "auto":
+        return len(tree) >= ARENA_THRESHOLD
+    return engine == "arena"
+
+
+def subtree_capacitances(tree, engine: str = "auto") -> Dict[int, float]:
+    """Downstream capacitance seen at every root-reachable node of ``tree``.
 
     The capacitance at a node is the sum of every sink capacitance below it
     plus the wire capacitance of every edge below it.  The wire between a node
     and its parent is *not* included in that node's value (it belongs to the
     parent's subtree view), matching the usual Elmore bookkeeping.
     """
+    if _use_arena(tree, engine):
+        tree.root()  # same "no root yet" error as the object walk
+        arena = tree.as_arena()
+        caps = _arena_capacitances(arena)
+        ids = np.flatnonzero(arena.reachable_mask())
+        return dict(zip(ids.tolist(), caps[ids].tolist()))
     tech = tree.technology
     caps: Dict[int, float] = {}
     for node_id in tree.reverse_topological_order():
@@ -37,16 +85,23 @@ def subtree_capacitances(tree) -> Dict[int, float]:
     return caps
 
 
-def elmore_delays(tree) -> Dict[int, float]:
-    """Elmore delay from the tree root to every node.
+def elmore_delays(tree, engine: str = "auto") -> Dict[int, float]:
+    """Elmore delay from the tree root to every reachable node.
 
     The delay accumulated over an edge of length ``L`` into a child whose
     downstream capacitance is ``C`` is ``r L (c L / 2 + C)``; the source
     resistance (if the technology models one) adds ``R_src * C_total`` to every
     node identically.
     """
+    if _use_arena(tree, engine):
+        tree.root()
+        arena = tree.as_arena()
+        caps = _arena_capacitances(arena)
+        delays = _arena_delays(arena, caps)
+        ids = np.flatnonzero(arena.reachable_mask())
+        return dict(zip(ids.tolist(), delays[ids].tolist()))
     tech = tree.technology
-    caps = subtree_capacitances(tree)
+    caps = subtree_capacitances(tree, engine="object")
     root = tree.root()
     delays: Dict[int, float] = {}
     source_component = tech.source_resistance * caps[root.node_id]
@@ -59,7 +114,56 @@ def elmore_delays(tree) -> Dict[int, float]:
     return delays
 
 
-def sink_delays(tree) -> Dict[int, float]:
+def sink_delays(tree, engine: str = "auto") -> Dict[int, float]:
     """Elmore delay from the root to every sink, keyed by sink node id."""
-    delays = elmore_delays(tree)
+    delays = elmore_delays(tree, engine=engine)
     return {sink.node_id: delays[sink.node_id] for sink in tree.sinks()}
+
+
+# ----------------------------------------------------------------------
+# Arena passes
+# ----------------------------------------------------------------------
+def _arena_capacitances(arena) -> np.ndarray:
+    """Bottom-up capacitance accumulation over height levels.
+
+    Child contributions are added one attach-order slot at a time
+    (``total = total + (caps[child] + c * length)``), replaying the object
+    walk's sequential float additions exactly.
+    """
+    c = arena.technology.unit_capacitance
+    caps = arena.sink_caps.copy()
+    offsets = arena.child_offsets
+    counts = arena.child_counts()
+    edge_caps = c * arena.edge_lengths
+    for level in arena.height_levels():
+        nodes = level[counts[level] > 0]
+        if not nodes.size:
+            continue
+        node_counts = counts[nodes]
+        starts = offsets[nodes]
+        total = caps[nodes]
+        for slot in range(int(node_counts.max())):
+            sel = node_counts > slot
+            children = arena.child_ids[starts[sel] + slot]
+            total[sel] = total[sel] + (caps[children] + edge_caps[children])
+        caps[nodes] = total
+    return caps
+
+
+def _arena_delays(arena, caps: np.ndarray) -> np.ndarray:
+    """Top-down delay propagation over depth levels (root component included)."""
+    tech = arena.technology
+    r = tech.unit_resistance
+    c = tech.unit_capacitance
+    delays = np.zeros(arena.num_nodes, dtype=np.float64)
+    if arena.root >= 0:
+        delays[arena.root] = tech.source_resistance * caps[arena.root]
+    for level in arena.depth_levels():
+        children, parent_index = arena.children_of(level)
+        if not children.size:
+            continue
+        lengths = arena.edge_lengths[children]
+        delays[children] = delays[level[parent_index]] + r * lengths * (
+            c * lengths / 2.0 + caps[children]
+        )
+    return delays

@@ -3,21 +3,23 @@
 The paper cross-checks its Elmore-based skews against SPICE (Chapter III); we
 do not have SPICE, so the closest faithful substitute is an independent
 re-derivation of the delays from first principles: each clock-tree edge is
-expanded into a chain of lumped RC segments (a discretised distributed line),
-the whole network is stored as a ``networkx`` graph, and the Elmore delay of
-every node is computed as the classic sum ``sum_k R_k * C_downstream(k)`` over
-the resistors on the source-to-node path.
+expanded into a chain of lumped RC segments (a discretised distributed line)
+and the Elmore delay of every node is computed as the classic sum
+``sum_k R_k * C_downstream(k)`` over the resistors on the source-to-node path.
 
 For the Elmore metric the discretisation is exact for any segment count, so
 the oracle must agree with :mod:`repro.delay.elmore` to numerical precision --
 which is exactly what the test-suite asserts.
+
+The network itself is stored in plain dictionaries (parent/children/cap/
+resistance); ``networkx`` is no longer part of the construction or evaluation
+path.  :meth:`RcTree.graph` still exposes the network as a ``DiGraph`` for
+analysis and reporting code, built lazily and cached until the next mutation.
 """
 
 from __future__ import annotations
 
-from typing import Dict
-
-import networkx as nx
+from typing import Dict, List
 
 from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
 
@@ -33,30 +35,38 @@ class RcTree:
     """
 
     def __init__(self, root, technology: Technology = DEFAULT_TECHNOLOGY) -> None:
-        self._graph = nx.DiGraph()
         self._root = root
         self._technology = technology
-        self._graph.add_node(root, cap=0.0)
+        self._caps: Dict[object, float] = {root: 0.0}
+        self._parent: Dict[object, object] = {}
+        self._children: Dict[object, List[object]] = {root: []}
+        self._resistance: Dict[object, float] = {}
+        self._graph_cache = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_node(self, node, parent, resistance: float, cap: float = 0.0) -> None:
         """Attach ``node`` below ``parent`` through ``resistance`` ohms."""
-        if node in self._graph:
+        if node in self._caps:
             raise ValueError("node %r already exists" % (node,))
-        if parent not in self._graph:
+        if parent not in self._caps:
             raise ValueError("parent %r does not exist" % (parent,))
         if resistance < 0.0 or cap < 0.0:
             raise ValueError("resistance and capacitance must be non-negative")
-        self._graph.add_node(node, cap=cap)
-        self._graph.add_edge(parent, node, resistance=resistance)
+        self._caps[node] = cap
+        self._children[node] = []
+        self._children[parent].append(node)
+        self._parent[node] = parent
+        self._resistance[node] = resistance
+        self._graph_cache = None
 
     def add_cap(self, node, cap: float) -> None:
         """Add grounded capacitance to an existing node."""
         if cap < 0.0:
             raise ValueError("capacitance must be non-negative")
-        self._graph.nodes[node]["cap"] += cap
+        self._caps[node] += cap
+        self._graph_cache = None
 
     def add_wire(self, node, parent, length: float, segments: int = 4) -> None:
         """Attach ``node`` below ``parent`` through a wire of ``length`` micrometres.
@@ -85,16 +95,26 @@ class RcTree:
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
+    def _topological_order(self) -> List[object]:
+        """Every node with parents before children (root first)."""
+        order: List[object] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(reversed(self._children[node]))
+        return order
+
     def total_capacitance(self) -> float:
         """Sum of every grounded capacitance in the network."""
-        return sum(data["cap"] for _, data in self._graph.nodes(data=True))
+        return sum(self._caps.values())
 
     def downstream_capacitances(self) -> Dict[object, float]:
         """Capacitance of the subtree rooted at every node (node cap included)."""
         caps: Dict[object, float] = {}
-        for node in reversed(list(nx.topological_sort(self._graph))):
-            total = self._graph.nodes[node]["cap"]
-            for child in self._graph.successors(node):
+        for node in reversed(self._topological_order()):
+            total = self._caps[node]
+            for child in self._children[node]:
                 total += caps[child]
             caps[node] = total
         return caps
@@ -105,12 +125,12 @@ class RcTree:
         delays: Dict[object, float] = {}
         source_term = self._technology.source_resistance * caps[self._root]
         delays[self._root] = source_term
-        for node in nx.topological_sort(self._graph):
+        resistance = self._resistance
+        parent = self._parent
+        for node in self._topological_order():
             if node == self._root:
                 continue
-            (parent,) = self._graph.predecessors(node)
-            resistance = self._graph.edges[parent, node]["resistance"]
-            delays[node] = delays[parent] + resistance * caps[node]
+            delays[node] = delays[parent[node]] + resistance[node] * caps[node]
         return delays
 
     def delay_to(self, node) -> float:
@@ -137,9 +157,22 @@ class RcTree:
                 rc.add_cap(child.node_id, child.sink_cap)
         return rc
 
-    def graph(self) -> nx.DiGraph:
-        """The underlying directed graph (parents point to children)."""
-        return self._graph
+    def graph(self):
+        """The network as a ``networkx.DiGraph`` (parents point to children).
+
+        Built on demand for analysis/report consumers and cached until the
+        next mutation; construction and delay evaluation never touch it.
+        """
+        if self._graph_cache is None:
+            import networkx as nx
+
+            graph = nx.DiGraph()
+            for node, cap in self._caps.items():
+                graph.add_node(node, cap=cap)
+            for node, parent in self._parent.items():
+                graph.add_edge(parent, node, resistance=self._resistance[node])
+            self._graph_cache = graph
+        return self._graph_cache
 
     @property
     def root(self):

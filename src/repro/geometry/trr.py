@@ -273,10 +273,19 @@ def loci_to_array(loci: Sequence[Trr]) -> np.ndarray:
     """Stack regions into an ``(n, 4)`` array of ``(ulo, uhi, vlo, vhi)`` rows.
 
     The array form is what the batch distance kernels and the neighbour index
-    operate on; row ``r`` corresponds to ``loci[r]``.
+    operate on; row ``r`` corresponds to ``loci[r]``.  An ``(n, 4)`` float
+    array (or a sequence of 4-element rows, as produced by slicing one)
+    passes through unchanged, which lets the arena construction loop feed its
+    native locus arrays to every selection engine.
     """
+    if isinstance(loci, np.ndarray) and loci.ndim == 2 and loci.shape[1] == 4:
+        return np.ascontiguousarray(loci, dtype=float)
     n = len(loci)
     out = np.empty((n, 4), dtype=float)
+    if n and isinstance(loci[0], np.ndarray):
+        for index, row in enumerate(loci):
+            out[index] = row
+        return out
     for index, locus in enumerate(loci):
         out[index, 0] = locus.ulo
         out[index, 1] = locus.uhi

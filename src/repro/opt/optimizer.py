@@ -156,6 +156,7 @@ def _restore(tree, snapshot: Dict[int, tuple]) -> None:
         node = tree.node(node_id)
         node.edge_length = edge_length
         node.location = location
+    tree.mark_mutated()
 
 
 def _quality(ctx: OptContext) -> tuple:

@@ -320,6 +320,7 @@ class SkewRepairPass:
                 score = self._polish_score(ctx)
                 for node_id, length in baseline.items():
                     tree.node(node_id).edge_length = length
+                tree.mark_mutated()
                 ctx.wire_net_added = spent_baseline
                 if score < current and (best is None or score < best[0]):
                     best = (score, move)

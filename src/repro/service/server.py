@@ -254,11 +254,14 @@ class RoutingService:
 
     def stats_payload(self) -> Dict[str, Any]:
         import repro
+        from repro.metrics import peak_rss_mb
 
         return {
             "version": repro.__version__,
             "cache": self.cache.stats().to_dict(),
             "server": self.stats.to_dict(),
+            # Same measurement path as RunResult.stats / the bench harness.
+            "resources": {"peak_rss_mb": peak_rss_mb()},
         }
 
     def close(self) -> None:

@@ -422,7 +422,7 @@ class TestBatchRunner:
         def stable(result):
             # Wall-clock timings vary run to run; everything else must not.
             d = result.to_dict()
-            d.pop("route_seconds"), d.pop("total_seconds")
+            d.pop("route_seconds"), d.pop("total_seconds"), d.pop("stats")
             return d
 
         assert [stable(r) for r in streamed] == [stable(r) for r in plain]
@@ -512,6 +512,7 @@ def _changed_choices():
 
     return {
         "neighbor_strategy": "scalar",
+        "tree_backend": "object",
         "opt": OptConfig(enabled=True, max_iterations=2),
     }
 
@@ -579,3 +580,88 @@ class TestConfigPropagation:
         assert isinstance(ast, AstDme) and ast.config == config.ast_config()
         assert isinstance(baseline, ExtBst)
         assert baseline.config.skew_bound_ps == 6.0
+
+
+class TestRunResultStats:
+    """The shared resource-measurement path (RunResult.stats / repro.metrics)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(RunSpec(instance=InstanceSpec.from_random(80, seed=2, groups=2)))
+
+    def test_run_populates_measurements(self, result):
+        stats = result.stats
+        for key in ("wall_seconds", "peak_rss_mb", "route_seconds", "delay_seconds"):
+            assert key in stats, key
+        assert stats["wall_seconds"] > 0.0
+        assert stats["peak_rss_mb"] > 0.0
+        assert stats["wall_seconds"] >= stats["route_seconds"] > 0.0
+
+    def test_stage_seconds_come_from_the_router(self, result):
+        # The construction stages the router timed are surfaced verbatim.
+        for key in ("select_seconds", "merge_seconds", "embed_seconds"):
+            assert result.stats[key] > 0.0
+
+    def test_stats_round_trip_serialisation(self, result):
+        data = json.loads(json.dumps(result.to_dict()))
+        assert RunResult.from_dict(data).stats == result.stats
+
+    def test_stats_excluded_from_equality(self):
+        from dataclasses import replace
+
+        spec = RunSpec(instance=InstanceSpec.from_random(40, seed=9))
+        a, b = run(spec), run(spec)
+        # The timing columns have always varied run to run; once those are
+        # normalised, the differing stats dicts must not break equality.
+        assert a.stats["wall_seconds"] != b.stats["wall_seconds"]
+        assert replace(a, route_seconds=0.0, total_seconds=0.0) == replace(
+            b, route_seconds=0.0, total_seconds=0.0
+        )
+
+    def test_validate_stage_timed_only_when_requested(self):
+        with_validate = run(
+            RunSpec(instance=InstanceSpec.from_random(40, seed=9), validate=True)
+        )
+        without = run(RunSpec(instance=InstanceSpec.from_random(40, seed=9)))
+        assert "validate_seconds" in with_validate.stats
+        assert "validate_seconds" not in without.stats
+
+    def test_run_safe_errors_still_measure(self):
+        result = run_safe(
+            RunSpec(
+                instance=InstanceSpec.from_random(10, seed=1),
+                router=RouterSpec("ast-dme", {"tree_backend": "no-such-backend"}),
+            )
+        )
+        assert result.error is not None
+        assert result.stats["wall_seconds"] > 0.0
+        assert result.stats["peak_rss_mb"] > 0.0
+
+    def test_peak_rss_mb_is_positive_and_stable(self):
+        from repro.metrics import peak_rss_mb
+
+        first = peak_rss_mb()
+        second = peak_rss_mb()
+        assert first > 0.0
+        assert second >= first  # a high-water mark never shrinks
+
+    def test_stage_timer_accumulates(self):
+        from repro.metrics import StageTimer
+
+        timer = StageTimer()
+        with timer.stage("x"):
+            pass
+        with timer.stage("x"):
+            pass
+        assert timer.seconds["x"] >= 0.0
+        assert set(timer.seconds) == {"x"}
+
+    def test_service_stats_payload_reports_rss(self):
+        from repro.service.server import RoutingService, ServiceConfig
+
+        service = RoutingService(ServiceConfig(port=0))
+        try:
+            payload = service.stats_payload()
+            assert payload["resources"]["peak_rss_mb"] > 0.0
+        finally:
+            service.close()

@@ -27,10 +27,11 @@ class TestSuiteDefinition:
     def test_configs_cover_routers_strategies_and_scenarios(self):
         configs = scaling_configs(sizes=(500, 2000), seed=1)
         labels = {config["label"] for config in configs}
-        # 3 headline routers + 3 single-merge strategies + 3 blocked-scenario
-        # rows, per size.
-        assert len(configs) == 18
+        # 3 headline routers + 1 object-backend identity row + 3 single-merge
+        # strategies + 3 blocked-scenario rows, per size.
+        assert len(configs) == 20
         assert "ast-dme-n500" in labels
+        assert "ast-dme-object-n2000" in labels
         assert "greedy-dme-single-scalar-n2000" in labels
         assert "greedy-dme-single-incremental-n2000" in labels
         assert "ast-dme-blocked-n500" in labels
@@ -42,6 +43,7 @@ class TestSuiteDefinition:
         configs = scaling_configs(sizes=(500,), seed=1)
         blocked = [c for c in configs if c["family"] == "blocked"]
         assert len(blocked) == 3
+        assert all(c["tree_backend"] == "arena" for c in blocked)
         for config in blocked:
             assert config["spec"]["instance"]["kind"] == "family"
             assert config["spec"]["instance"]["family"] == "blocked"
@@ -58,8 +60,9 @@ class TestRunSuite:
         assert smoke_payload["suite"] == "scaling"
         assert smoke_payload["smoke"] is True
         assert smoke_payload["sizes"] == [60]
+        assert smoke_payload["large_sizes"] == []
         assert smoke_payload["service_sizes"] == []
-        assert len(smoke_payload["rows"]) == 9
+        assert len(smoke_payload["rows"]) == 10
         assert all(row["kind"] == "routing" for row in smoke_payload["rows"])
         json.dumps(smoke_payload)  # JSON-serialisable end to end
 
@@ -249,3 +252,120 @@ class TestCli:
         assert payload["service_sizes"] == [40]
         assert all(row["kind"] == "service" for row in payload["rows"])
         assert all(gate["passed"] for gate in payload["gates"])
+
+
+class TestV5Schema:
+    """The v5 additions: backend columns/gates and the large suite."""
+
+    def test_row_columns_carry_stage_breakdown(self, smoke_payload):
+        for row in smoke_payload["rows"]:
+            assert row["tree_backend"] in ("arena", "object")
+            for key in ("merge_seconds", "embed_seconds", "delay_seconds"):
+                assert row[key] >= 0.0, key
+
+    def test_backend_rows_pin_the_expected_backend(self, smoke_payload):
+        by_label = {row["label"]: row for row in smoke_payload["rows"]}
+        assert by_label["ast-dme-n60"]["tree_backend"] == "arena"
+        assert by_label["ast-dme-object-n60"]["tree_backend"] == "object"
+        # Strategy rows keep measuring the v1-v4 object merge loop.
+        assert by_label["greedy-dme-single-scalar-n60"]["tree_backend"] == "object"
+
+    def test_backend_gates_assert_identity(self, smoke_payload):
+        gates = [g for g in smoke_payload["gates"] if g["kind"] == "backend"]
+        assert len(gates) == len(smoke_payload["sizes"])
+        for gate in gates:
+            assert gate["identical_results"], gate
+            assert gate["passed"], gate
+
+    def test_validate_accepts_backend_and_resource_gates(self, smoke_payload):
+        payload = dict(
+            smoke_payload,
+            gates=smoke_payload["gates"]
+            + [
+                {
+                    "kind": "resource",
+                    "name": "resource-x",
+                    "row_label": "x",
+                    "wall_seconds": 1.0,
+                    "max_wall_seconds": 2.0,
+                    "peak_rss_mb": 10.0,
+                    "max_peak_rss_mb": 20.0,
+                    "passed": True,
+                }
+            ],
+        )
+        validate_bench_payload(payload)
+
+    def test_validate_rejects_resource_gate_missing_keys(self, smoke_payload):
+        bad = dict(smoke_payload, gates=[{"kind": "resource", "name": "r"}])
+        with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+    def test_validate_rejects_missing_large_sizes(self, smoke_payload):
+        bad = {k: v for k, v in smoke_payload.items() if k != "large_sizes"}
+        with pytest.raises(ValueError, match="large_sizes"):
+            validate_bench_payload(bad)
+
+    def test_format_rows_profile_mode(self, smoke_payload):
+        text = format_rows(smoke_payload, profile=True)
+        assert "merge s" in text and "embed s" in text and "delay s" in text
+        for row in smoke_payload["rows"]:
+            assert row["label"] in text
+
+
+class TestLargeSuite:
+    """``repro bench --suite large`` on tiny sizes (the shape, not the perf)."""
+
+    @pytest.fixture(scope="class")
+    def large_payload(self):
+        return run_suite(suite="large", sizes=(80,), smoke=True)
+
+    def test_configs_cover_backends(self):
+        from repro.bench import large_configs
+
+        configs = large_configs(sizes=(50000, 200000), seed=1)
+        labels = {c["label"] for c in configs}
+        assert labels == {
+            "ast-dme-large-n50000",
+            "greedy-dme-large-n50000",
+            "ast-dme-large-n200000",
+            "greedy-dme-large-n200000",
+            "ast-dme-large-object-n50000",
+        }
+        json.dumps(configs)
+
+    def test_payload_schema(self, large_payload):
+        validate_bench_payload(large_payload)
+        assert large_payload["suite"] == "large"
+        assert large_payload["sizes"] == []
+        # --suite large --sizes applies the explicit sizes to the large sweep.
+        assert large_payload["large_sizes"] == [80]
+        assert len(large_payload["rows"]) == 3
+
+    def test_rows_ok_and_identity_gate_passes(self, large_payload):
+        for row in large_payload["rows"]:
+            assert row["ok"], row["error"]
+        backend = [g for g in large_payload["gates"] if g["kind"] == "backend"]
+        assert len(backend) == 1
+        assert backend[0]["identical_results"]
+        assert backend[0]["passed"]
+
+    def test_resource_gates_waived_in_smoke(self, large_payload):
+        resource = [g for g in large_payload["gates"] if g["kind"] == "resource"]
+        assert len(resource) == 2  # one per arena row
+        for gate in resource:
+            assert gate["max_wall_seconds"] == 0.0
+            assert gate["max_peak_rss_mb"] == 0.0
+            assert gate["passed"]
+
+    def test_resource_limits_cover_default_sizes(self):
+        from repro.bench import LARGE_RSS_LIMITS, LARGE_SIZES, LARGE_WALL_LIMITS
+
+        for n in LARGE_SIZES:
+            assert LARGE_WALL_LIMITS[n] > 0.0
+            assert LARGE_RSS_LIMITS[n] > 0.0
+
+    def test_cli_accepts_large_suite_and_profile(self):
+        args = build_parser().parse_args(["bench", "--suite", "large", "--profile"])
+        assert args.suite == "large"
+        assert args.profile is True

@@ -82,3 +82,68 @@ class TestElmoreDelays:
         short, a1, _, _ = build_two_sink_tree(length_a=500.0)
         long, a2, _, _ = build_two_sink_tree(length_a=1500.0)
         assert sink_delays(short)[a1] < sink_delays(long)[a2]
+
+
+class TestEngines:
+    """The arena array passes must replay the object walk bit for bit."""
+
+    def routed(self, n=300, groups=4):
+        from repro.api.runner import run
+        from repro.api.spec import InstanceSpec, RunSpec
+
+        result = run(
+            RunSpec(instance=InstanceSpec.from_random(n, seed=2, groups=groups)),
+            keep_tree=True,
+        )
+        assert result.error is None
+        return result.routing.tree
+
+    def test_capacitances_identical_across_engines(self):
+        tree = self.routed()
+        assert subtree_capacitances(tree, engine="arena") == subtree_capacitances(
+            tree, engine="object"
+        )
+
+    def test_delays_identical_across_engines(self):
+        tree = self.routed()
+        assert elmore_delays(tree, engine="arena") == elmore_delays(
+            tree, engine="object"
+        )
+
+    def test_sink_delays_identical_across_engines(self):
+        tree = self.routed()
+        assert sink_delays(tree, engine="arena") == sink_delays(tree, engine="object")
+
+    def test_engines_identical_on_hand_built_tree(self):
+        tree, _, _, _ = build_two_sink_tree()
+        assert elmore_delays(tree, engine="arena") == elmore_delays(
+            tree, engine="object"
+        )
+
+    def test_auto_engine_matches_both(self):
+        tree = self.routed(n=100)
+        assert elmore_delays(tree, engine="auto") == elmore_delays(
+            tree, engine="object"
+        )
+
+    def test_unknown_engine_raises(self):
+        tree, _, _, _ = build_two_sink_tree()
+        with pytest.raises(ValueError, match="unknown elmore engine"):
+            elmore_delays(tree, engine="simd")
+
+    def test_no_root_raises_same_error_for_both_engines(self):
+        tree = ClockTree()
+        tree.add_sink(Point(0.0, 0.0), 1.0)
+        messages = []
+        for engine in ("arena", "object"):
+            with pytest.raises(ValueError) as excinfo:
+                elmore_delays(tree, engine=engine)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_arena_restricts_to_reachable_nodes(self):
+        tree, _, _, _ = build_two_sink_tree()
+        orphan = tree.add_sink(Point(5.0, 5.0), 1.0)  # never attached
+        for engine in ("arena", "object"):
+            delays = elmore_delays(tree, engine=engine)
+            assert orphan not in delays

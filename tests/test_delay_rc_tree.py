@@ -136,3 +136,47 @@ class TestOracleAgainstFastEvaluator:
         oracle = RcTree.from_clock_tree(tree).elmore_delays()
         for sink_id, fast_value in fast.items():
             assert oracle[sink_id] == pytest.approx(fast_value, rel=1e-9)
+
+
+class TestGraphView:
+    """The lazily built, cached networkx view (analysis-only; never used by
+    construction or delay evaluation)."""
+
+    def build(self, tech):
+        rc = RcTree("root", tech)
+        rc.add_node("a", "root", 2.0, cap=1.0)
+        rc.add_node("b", "a", 3.0, cap=4.0)
+        return rc
+
+    def test_graph_matches_network(self, tech):
+        rc = self.build(tech)
+        graph = rc.graph()
+        assert set(graph.nodes) == {"root", "a", "b"}
+        assert graph.edges["root", "a"]["resistance"] == 2.0
+        assert graph.edges["a", "b"]["resistance"] == 3.0
+        assert graph.nodes["b"]["cap"] == 4.0
+
+    def test_graph_is_cached_until_mutation(self, tech):
+        rc = self.build(tech)
+        first = rc.graph()
+        assert rc.graph() is first
+        rc.add_cap("b", 1.0)
+        second = rc.graph()
+        assert second is not first
+        assert second.nodes["b"]["cap"] == 5.0
+
+    def test_add_node_invalidates_cache(self, tech):
+        rc = self.build(tech)
+        first = rc.graph()
+        rc.add_node("c", "b", 1.0)
+        assert rc.graph() is not first
+        assert "c" in rc.graph().nodes
+
+    def test_delays_never_touch_the_graph(self, tech, monkeypatch):
+        rc = self.build(tech)
+        monkeypatch.setattr(
+            RcTree, "graph", lambda self: pytest.fail("graph() called")
+        )
+        rc.elmore_delays()
+        rc.downstream_capacitances()
+        rc.total_capacitance()

@@ -164,6 +164,23 @@ class TestOptimizer:
         assert not post
         assert report.max_intra_skew_after_ps <= 10.0 + 1e-6
 
+    def test_repairs_with_the_arena_elmore_engine(self, monkeypatch):
+        """Regression: the repair passes' bulk snapshot-restore loops write
+        node attributes in place; without `mark_mutated` the cached arena
+        snapshot went stale and the arena Elmore engine (the `auto` choice for
+        trees past the size threshold) scored every candidate move against the
+        pre-mutation tree, leaving violations unrepaired at bench sizes."""
+        import repro.delay.elmore as elmore
+
+        monkeypatch.setattr(elmore, "ARENA_THRESHOLD", 1)
+        result = run(_blocked_spec(), keep_tree=True)
+        report = optimize_routing(
+            result.routing, OptConfig(enabled=True), intra_bound_ps=10.0
+        )
+        assert report.skew_violations_before > 0
+        assert report.skew_violations_after == 0
+        assert report.converged
+
     def test_repair_keeps_tree_valid(self):
         result = run(_blocked_spec(num_sinks=80), keep_tree=True)
         optimize_routing(result.routing, OptConfig(enabled=True), intra_bound_ps=10.0)
