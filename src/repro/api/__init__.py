@@ -30,6 +30,7 @@ See ``docs/api.md`` for the registry extension point.
 """
 
 from repro.api.batch import BatchRunner, run_batch
+from repro.api.eco import EcoResult, EcoSpec, run_eco, run_eco_safe
 from repro.api.registry import (
     Router,
     RouterSpec,
@@ -44,6 +45,8 @@ from repro.api.spec import InstanceSpec, RunResult, RunSpec
 
 __all__ = [
     "BatchRunner",
+    "EcoResult",
+    "EcoSpec",
     "InstanceSpec",
     "Router",
     "RouterSpec",
@@ -55,6 +58,8 @@ __all__ = [
     "router_description",
     "run",
     "run_batch",
+    "run_eco",
+    "run_eco_safe",
     "run_safe",
     "unregister_router",
 ]

@@ -7,7 +7,9 @@ wall-time, peak-RSS and quality (wirelength / skew) columns.  Since schema v4
 the harness also owns the *serving-side* suite (``--suite service``): the
 :mod:`repro.service` load harness contributes ``kind == "service"`` rows
 (requests/sec, p50/p99 latency, cache hit rate) and gates to the same
-payload; ``--suite all`` runs both.
+payload; since schema v6 ``--suite eco`` contributes ``kind == "eco"`` rows
+measuring the incremental re-route (:mod:`repro.eco`) against a full
+re-route of the same instance; ``--suite all`` runs everything.
 
 Three kinds of routing rows are produced per instance size:
 
@@ -54,13 +56,17 @@ __all__ = [
     "SMOKE_SIZES",
     "LARGE_SIZES",
     "SMOKE_LARGE_SIZES",
+    "ECO_SIZES",
+    "SMOKE_ECO_SIZES",
     "SUITES",
     "GATE_SPEEDUP",
     "GATE_BACKEND_SPEEDUP",
+    "GATE_ECO_SPEEDUP",
     "LARGE_WALL_LIMITS",
     "LARGE_RSS_LIMITS",
     "scaling_configs",
     "large_configs",
+    "eco_configs",
     "run_suite",
     "validate_bench_payload",
     "format_rows",
@@ -73,14 +79,17 @@ __all__ = [
 #: v4 added the ``kind`` row discriminator (``routing`` / ``service``), the
 #: top-level ``suite`` / ``smoke`` / ``service_sizes`` fields and the
 #: serving-side rows + gates of ``repro bench --suite service``;
-#: v5 adds the ``tree_backend`` / ``merge_seconds`` / ``embed_seconds`` /
+#: v5 added the ``tree_backend`` / ``merge_seconds`` / ``embed_seconds`` /
 #: ``delay_seconds`` row columns, the arena-vs-object identity rows + backend
 #: gates, and the ``--suite large`` sweep (50k/200k sinks) with its resource
-#: gates (wall/RSS ceilings) and the top-level ``large_sizes`` field.
-SCHEMA = "repro-bench/v5"
+#: gates (wall/RSS ceilings) and the top-level ``large_sizes`` field;
+#: v6 adds the ``kind == "eco"`` rows and gates of ``--suite eco`` (the
+#: incremental re-route versus a full re-route of the same instance) and the
+#: top-level ``eco_sizes`` field.
+SCHEMA = "repro-bench/v6"
 
 #: The suites ``repro bench --suite`` can run.
-SUITES = ("scaling", "large", "service", "all")
+SUITES = ("scaling", "large", "service", "eco", "all")
 
 #: Default sink counts of the scaling suite (the perf gate runs at the last).
 DEFAULT_SIZES = (500, 2000, 8000)
@@ -115,6 +124,20 @@ LARGE_RSS_LIMITS = {50000: 600.0, 200000: 1600.0}
 #: the blocked scenario rows (the repair gate demands >= 90% elimination).
 GATE_REPAIR_MAX_SURVIVING = 0.1
 
+#: Sink counts of the ECO suite (the speed-up gate runs at the last).
+ECO_SIZES = (2000, 8000)
+
+#: ECO-suite sizes under ``--smoke`` (the speed-up threshold is waived there;
+#: identity and validation still gate).
+SMOKE_ECO_SIZES = (120,)
+
+#: Sinks the ECO suite's delta moves (scaled down on tiny instances).
+ECO_MOVED_SINKS = 16
+
+#: Wall-time improvement the ECO gate demands of the incremental re-route
+#: over a full route of the same instance, at the largest ECO size.
+GATE_ECO_SPEEDUP = 10.0
+
 #: Keys every ``kind == "routing"`` bench row carries (the JSON schema,
 #: enforced by :func:`validate_bench_payload`).
 ROW_KEYS = frozenset(
@@ -138,6 +161,18 @@ SERVICE_ROW_KEYS = frozenset(
         "requests", "hits", "misses", "hit_rate", "cold_seconds",
         "hot_seconds_total", "requests_per_sec", "p50_ms", "p99_ms",
         "identical_results", "ok", "error",
+    }
+)
+
+#: Keys every ``kind == "eco"`` row carries (written by :func:`_eco_worker`).
+ECO_ROW_KEYS = frozenset(
+    {
+        "kind", "label", "router", "num_sinks", "groups", "seed",
+        "moved_sinks", "full_seconds", "eco_seconds", "speedup",
+        "cone_nodes", "reused_nodes", "rebuilt_nodes", "frontier_subtrees",
+        "preserved_identical", "validation_ok", "wirelength",
+        "global_skew_ps", "max_intra_group_skew_ps", "num_nodes",
+        "peak_rss_mb", "ok", "error",
     }
 )
 
@@ -173,6 +208,13 @@ SERVICE_GATE_KEYS = frozenset(
     {
         "kind", "name", "row_label", "hit_rate", "min_hit_rate",
         "hot_speedup", "speedup_threshold", "identical_results", "passed",
+    }
+)
+
+ECO_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "row_label", "speedup", "threshold",
+        "preserved_identical", "validation_ok", "passed",
     }
 )
 
@@ -334,6 +376,32 @@ def large_configs(
     return configs
 
 
+def eco_configs(
+    sizes: Sequence[int] = ECO_SIZES, seed: int = 1
+) -> List[Dict[str, Any]]:
+    """The bench configurations of the ECO suite (``--suite eco``).
+
+    One grouped ast-dme instance per size; the worker routes it once (the
+    full-route baseline), moves ``moved_sinks`` sinks spread across the
+    instance and re-routes incrementally through :func:`repro.api.eco.run_eco`.
+    """
+    configs: List[Dict[str, Any]] = []
+    for n in sizes:
+        label = "ast-dme-eco-n%d" % n
+        configs.append(
+            {
+                "label": label,
+                "moved_sinks": min(ECO_MOVED_SINKS, max(1, n // 8)),
+                "spec": RunSpec(
+                    instance=InstanceSpec.from_random(n, seed=seed, groups=8),
+                    router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+                    label=label,
+                ).to_dict(),
+            }
+        )
+    return configs
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -410,6 +478,95 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         neighbor_incremental_passes=stats.neighbor_incremental_passes,
         obstacle_detour=stats.obstacle_detour,
         repaired_wirelength=repaired_wirelength,
+        ok=True,
+    )
+    return row
+
+
+def _eco_worker(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one ECO bench config in this (fresh) process; returns the row.
+
+    ``full_seconds`` is the wall time of routing the instance from scratch --
+    the delta only moves sinks, so the base route is the cost of the full
+    re-run the ECO replaces.  ``eco_seconds`` is the best of three
+    ``eco_reroute`` calls: the incremental path is sub-100ms where a single
+    scheduler hiccup could flip a 10x gate.
+    """
+    from repro.api.eco import EcoSpec, run_eco
+    from repro.eco import EcoDelta, SinkMove, preserved_subtrees_identical
+    from repro.geometry.point import Point
+
+    spec = RunSpec.from_dict(config["spec"])
+    moved = config["moved_sinks"]
+    row: Dict[str, Any] = {
+        "kind": "eco",
+        "label": config["label"],
+        "router": spec.router.name,
+        "num_sinks": spec.instance.num_sinks or 0,
+        "groups": spec.instance.groups,
+        "seed": spec.instance.seed,
+        "moved_sinks": moved,
+        "full_seconds": 0.0,
+        "eco_seconds": 0.0,
+        "speedup": 0.0,
+        "cone_nodes": 0,
+        "reused_nodes": 0,
+        "rebuilt_nodes": 0,
+        "frontier_subtrees": 0,
+        "preserved_identical": False,
+        "validation_ok": False,
+        "wirelength": 0.0,
+        "global_skew_ps": 0.0,
+        "max_intra_group_skew_ps": 0.0,
+        "num_nodes": 0,
+        "peak_rss_mb": 0.0,
+        "ok": False,
+        "error": None,
+    }
+    try:
+        base = run(spec, keep_tree=True)
+        instance = base.routing.instance
+        n = instance.num_sinks
+        moves = tuple(
+            SinkMove(
+                sid,
+                Point(
+                    instance.sinks[sid].location.x + 800.0,
+                    instance.sinks[sid].location.y - 400.0,
+                ),
+            )
+            for sid in range(0, n, max(1, n // moved))[:moved]
+        )
+        eco_spec = EcoSpec(base=spec, delta=EcoDelta(move=moves), validate=True)
+        result = None
+        eco_seconds = float("inf")
+        for _ in range(3):
+            result = run_eco(eco_spec, keep_tree=True, base_routing=base.routing)
+            eco_seconds = min(eco_seconds, result.eco_seconds)
+    except Exception as exc:  # noqa: BLE001 - a bench row must never abort the suite
+        row["error"] = "%s: %s" % (type(exc).__name__, exc)
+        return row
+    stats = result.eco
+    row.update(
+        moved_sinks=len(moves),
+        full_seconds=base.route_seconds,
+        eco_seconds=eco_seconds,
+        speedup=base.route_seconds / eco_seconds if eco_seconds > 0.0 else 0.0,
+        cone_nodes=stats.cone_nodes,
+        reused_nodes=stats.reused_nodes,
+        rebuilt_nodes=stats.rebuilt_nodes,
+        frontier_subtrees=stats.frontier_subtrees,
+        preserved_identical=preserved_subtrees_identical(
+            base.routing.tree, result.routing.tree, stats.preserved_roots
+        ),
+        validation_ok=not result.issues,
+        wirelength=result.wirelength,
+        global_skew_ps=result.global_skew_ps,
+        max_intra_group_skew_ps=result.max_intra_group_skew_ps,
+        num_nodes=result.num_nodes,
+        peak_rss_mb=peak_rss_mb(),
+        # ``ok`` means the row completed (like routing rows); the eco *gate*
+        # is what enforces identity and validation.
         ok=True,
     )
     return row
@@ -602,8 +759,39 @@ def _repair_gates(rows: List[Dict[str, Any]], sizes: Sequence[int]) -> List[Dict
     return gates
 
 
+def _eco_gates(
+    rows: List[Dict[str, Any]], sizes: Sequence[int], smoke: bool
+) -> List[Dict[str, Any]]:
+    """One ECO gate per size: preserved subtrees bit-identical and the
+    stitched tree valid at every size; the >= ``GATE_ECO_SPEEDUP`` speed-up
+    over the full route only at the largest size outside smoke mode (tiny
+    runs are noise-bound)."""
+    gates: List[Dict[str, Any]] = []
+    largest = max(sizes)
+    for row in rows:
+        threshold = (
+            GATE_ECO_SPEEDUP if row["num_sinks"] == largest and not smoke else 0.0
+        )
+        gates.append(
+            {
+                "kind": "eco",
+                "name": "eco-n%d" % row["num_sinks"],
+                "row_label": row["label"],
+                "speedup": row["speedup"],
+                "threshold": threshold,
+                "preserved_identical": row["preserved_identical"],
+                "validation_ok": row["validation_ok"],
+                "passed": row["ok"]
+                and row["preserved_identical"]
+                and row["validation_ok"]
+                and row["speedup"] >= threshold,
+            }
+        )
+    return gates
+
+
 def _run_configs(
-    configs: List[Dict[str, Any]], progress=None
+    configs: List[Dict[str, Any]], progress=None, worker=_bench_worker
 ) -> List[Dict[str, Any]]:
     """Execute bench configs sequentially, one fresh worker process each.
 
@@ -615,7 +803,7 @@ def _run_configs(
     rows: List[Dict[str, Any]] = []
     for config in configs:
         with ProcessPoolExecutor(max_workers=1) as pool:
-            row = pool.submit(_bench_worker, config).result()
+            row = pool.submit(worker, config).result()
         rows.append(row)
         if progress is not None:
             progress(row)
@@ -630,6 +818,7 @@ def run_suite(
     suite: str = "scaling",
     service_sizes: Optional[Sequence[int]] = None,
     large_sizes: Optional[Sequence[int]] = None,
+    eco_sizes: Optional[Sequence[int]] = None,
 ) -> Dict[str, Any]:
     """Run the requested suite(s) and return the ``BENCH_*.json`` payload.
 
@@ -643,11 +832,14 @@ def run_suite(
         progress: optional callable invoked with each finished row.
         suite: ``"scaling"`` (construction-side rows + gates), ``"large"``
             (the 50k/200k arena sweep with resource gates), ``"service"``
-            (the :mod:`repro.service` load harness) or ``"all"`` (every one).
+            (the :mod:`repro.service` load harness), ``"eco"`` (the
+            incremental re-route suite) or ``"all"`` (every one).
         service_sizes: sink counts of the service load suite (defaults to
             500/2000, or 120 with ``smoke=True``).
         large_sizes: sink counts of the large suite (defaults to 50k/200k,
             or 50k with ``smoke=True``).
+        eco_sizes: sink counts of the ECO suite (defaults to 2000/8000, or
+            120 with ``smoke=True``).
     """
     if suite not in SUITES:
         raise ValueError("unknown bench suite %r; expected one of %s" % (suite, SUITES))
@@ -675,6 +867,21 @@ def run_suite(
         large_rows = _run_configs(large_configs(used_large_sizes, seed=seed), progress)
         rows.extend(large_rows)
         gates.extend(_large_gates(large_rows, used_large_sizes, smoke))
+    used_eco_sizes: List[int] = []
+    if suite in ("eco", "all"):
+        if eco_sizes is None:
+            # ``--suite eco --sizes ...`` applies the explicit sizes to the
+            # one suite being run; for ``all`` each suite has its own.
+            if suite == "eco" and explicit_sizes:
+                eco_sizes = sizes
+            else:
+                eco_sizes = SMOKE_ECO_SIZES if smoke else ECO_SIZES
+        used_eco_sizes = list(eco_sizes)
+        eco_rows = _run_configs(
+            eco_configs(used_eco_sizes, seed=seed), progress, worker=_eco_worker
+        )
+        rows.extend(eco_rows)
+        gates.extend(_eco_gates(eco_rows, used_eco_sizes, smoke))
     used_service_sizes: List[int] = []
     if suite in ("service", "all"):
         from repro.service.loadtest import (
@@ -704,6 +911,7 @@ def run_suite(
         "sizes": scaling_sizes,
         "large_sizes": used_large_sizes,
         "service_sizes": used_service_sizes,
+        "eco_sizes": used_eco_sizes,
         "rows": rows,
         "gates": gates,
     }
@@ -726,7 +934,7 @@ def validate_bench_payload(payload: Any) -> None:
         )
     for key in (
         "suite", "smoke", "seed", "sizes", "large_sizes", "service_sizes",
-        "rows", "gates",
+        "eco_sizes", "rows", "gates",
     ):
         if key not in payload:
             raise ValueError("bench payload misses key %r" % key)
@@ -742,6 +950,8 @@ def validate_bench_payload(payload: Any) -> None:
             expected = ROW_KEYS
         elif kind == "service":
             expected = SERVICE_ROW_KEYS
+        elif kind == "eco":
+            expected = ECO_ROW_KEYS
         else:
             raise ValueError(
                 "bench row %r has unknown kind %r" % (row.get("label"), kind)
@@ -767,6 +977,8 @@ def validate_bench_payload(payload: Any) -> None:
             expected = REPAIR_GATE_KEYS
         elif kind == "service":
             expected = SERVICE_GATE_KEYS
+        elif kind == "eco":
+            expected = ECO_GATE_KEYS
         else:
             raise ValueError(
                 "bench gate %r has unknown kind %r" % (gate.get("name"), kind)
@@ -788,6 +1000,7 @@ def format_rows(payload: Dict[str, Any], profile: bool = False) -> str:
     lines = []
     routing = [row for row in payload["rows"] if row["kind"] == "routing"]
     service = [row for row in payload["rows"] if row["kind"] == "service"]
+    eco = [row for row in payload["rows"] if row["kind"] == "eco"]
     if routing and profile:
         lines.append(
             "%-36s %7s %9s %9s %9s %9s %9s %9s"
@@ -827,6 +1040,26 @@ def format_rows(payload: Dict[str, Any], profile: bool = False) -> str:
                     row["select_seconds"],
                     row["peak_rss_mb"],
                     row["wirelength"],
+                    status,
+                )
+            )
+    if eco:
+        lines.append(
+            "%-36s %9s %9s %9s %7s %7s %10s"
+            % ("label", "full s", "eco s", "speedup", "moved", "cone", "identical")
+        )
+        for row in eco:
+            status = "" if row["ok"] else "  ERROR %s" % (row["error"] or "")
+            lines.append(
+                "%-36s %9.3f %9.4f %8.1fx %7d %7d %10s%s"
+                % (
+                    row["label"],
+                    row["full_seconds"],
+                    row["eco_seconds"],
+                    row["speedup"],
+                    row["moved_sinks"],
+                    row["cone_nodes"],
+                    row["preserved_identical"],
                     status,
                 )
             )
@@ -883,6 +1116,19 @@ def format_rows(payload: Dict[str, Any], profile: bool = False) -> str:
                     wall_limit,
                     gate["peak_rss_mb"],
                     rss_limit,
+                    "PASS" if gate["passed"] else "FAIL",
+                )
+            )
+            continue
+        if gate["kind"] == "eco":
+            lines.append(
+                "gate %-31s %9.2fx (>= %.1fx)  identical=%s  valid=%s  %s"
+                % (
+                    gate["name"],
+                    gate["speedup"],
+                    gate["threshold"],
+                    gate["preserved_identical"],
+                    gate["validation_ok"],
                     "PASS" if gate["passed"] else "FAIL",
                 )
             )

@@ -8,6 +8,9 @@ Subcommands::
                        (``--benchmark`` parses ISPD-CNS-style files;
                        ``--repair`` runs the post-construction optimizer)
     repro optimize  -- route an instance, repair it, report before/after
+    repro eco       -- incrementally re-route a routed spec after a small
+                       change order (sink moves/adds/removes, new blockages)
+                       by rebuilding only the dirty cone
     repro batch     -- execute a JSON list of run specs (optionally parallel)
     repro routers   -- list the routers available in the registry
     repro serve     -- run the routing service (async HTTP server with a
@@ -186,6 +189,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit a machine-readable JSON summary"
     )
 
+    eco = sub.add_parser(
+        "eco",
+        help="incrementally re-route a routed spec after an engineering "
+        "change order: rebuild only the dirty cone around the changed "
+        "sinks, stitch the untouched subtrees back verbatim",
+    )
+    eco.add_argument(
+        "--base",
+        required=True,
+        help="JSON file with the RunSpec of the base routing "
+        "(same shape as one 'repro batch' entry)",
+    )
+    eco.add_argument(
+        "--delta",
+        required=True,
+        help="JSON file with the EcoDelta: sink adds/moves/removes and new "
+        "blockages ({'add': [...], 'move': [...], 'remove': [...], "
+        "'add_blockages': [...]})",
+    )
+    eco.add_argument(
+        "--validate", action="store_true", help="validate the stitched tree"
+    )
+    eco.add_argument(
+        "--repair",
+        action="store_true",
+        help="run the local post-stitch repair on groups the rebuilt cone "
+        "left over the skew bound",
+    )
+    eco.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON summary"
+    )
+
     batch = sub.add_parser(
         "batch", help="execute a JSON file of run specs through the BatchRunner"
     )
@@ -244,11 +279,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("scaling", "large", "service", "all"),
+        choices=("scaling", "large", "service", "eco", "all"),
         default="scaling",
         help="which suite to run: the construction-side scaling sweep, the "
         "large-instance sweep (50k/200k sinks, resource gates), the "
-        "serving-side load test, or all of them (default: scaling)",
+        "serving-side load test, the ECO incremental re-route suite, or "
+        "all of them (default: scaling)",
+    )
+    bench.add_argument(
+        "--eco-sizes",
+        nargs="+",
+        type=int,
+        default=None,
+        help="sink counts of the ECO incremental re-route suite (default: "
+        "2000 8000, or 120 with --smoke)",
     )
     bench.add_argument(
         "--service-sizes",
@@ -433,6 +477,65 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return _run_and_print(spec, args.json)
 
 
+def _load_json_object(path: str, what: str) -> dict:
+    """One JSON object from ``path`` (missing file / bad JSON raise with a
+    message naming the file, so the top-level handler prints one clean line)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError("%s file %s is not valid JSON: %s" % (what, path, exc)) from exc
+    if not isinstance(data, dict):
+        raise ValueError("%s file %s must contain one JSON object" % (what, path))
+    return data
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    from repro.api.eco import EcoSpec, run_eco
+    from repro.eco import EcoDelta, EcoDeltaError
+
+    base = RunSpec.from_dict(_load_json_object(args.base, "base spec"))
+    try:
+        delta = EcoDelta.from_dict(_load_json_object(args.delta, "delta"))
+    except (KeyError, TypeError) as exc:
+        # Normalise structural mistakes to the same error type EcoDelta's own
+        # validation raises, so the caller sees one line either way.
+        raise EcoDeltaError("malformed delta file %s: %s" % (args.delta, exc)) from exc
+    spec = EcoSpec(
+        base=base,
+        delta=delta,
+        validate=args.validate,
+        repair=OptConfig(enabled=True) if args.repair else None,
+    )
+    result = run_eco(spec)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    print("instance       : %s (%d sinks, %d groups)"
+          % (result.instance_name, result.num_sinks, result.num_groups))
+    print("algorithm      : %s" % spec.base.router.name)
+    print("delta          : +%d sinks, %d moved, -%d sinks, +%d blockages"
+          % (len(delta.add), len(delta.move), len(delta.remove), len(delta.add_blockages)))
+    print("wirelength     : %.0f" % result.wirelength)
+    print("global skew    : %.1f ps" % result.global_skew_ps)
+    print("intra-group    : %.1f ps (worst group)" % result.max_intra_group_skew_ps)
+    if result.eco is not None:
+        print("dirty cone     : %d node(s), %d preserved subtree(s)"
+              % (result.eco.cone_nodes, result.eco.frontier_subtrees))
+        print("nodes          : %d reused, %d rebuilt%s"
+              % (result.eco.reused_nodes, result.eco.rebuilt_nodes,
+                 ", repaired" if result.eco.repaired else ""))
+    print("cpu            : %.3f s eco (base route %.3f s)"
+          % (result.eco_seconds, result.base_seconds))
+    if spec.validate:
+        if result.issues:
+            for issue in result.issues:
+                print("VALIDATION: %s" % issue)
+            return 1
+        print("validation     : ok")
+    return 0
+
+
 def _load_batch_specs(path: str) -> List[RunSpec]:
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
@@ -502,7 +605,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     def progress(row):
         status = "ok" if row["ok"] else "ERROR"
-        seconds = row["wall_seconds"] if row["kind"] == "routing" else row["cold_seconds"]
+        if row["kind"] == "routing":
+            seconds = row["wall_seconds"]
+        elif row["kind"] == "eco":
+            seconds = row["eco_seconds"]
+        else:
+            seconds = row["cold_seconds"]
         print(
             "bench %-36s %9.3f s  %s" % (row["label"], seconds, status),
             file=sys.stderr,
@@ -515,6 +623,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress=progress,
         suite=args.suite,
         service_sizes=args.service_sizes,
+        eco_sizes=args.eco_sizes,
     )
     validate_bench_payload(payload)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -567,16 +676,15 @@ def _cmd_figure2(_: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro`` console script."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "route":
         return _cmd_route(args)
     if args.command == "optimize":
         return _cmd_optimize(args)
+    if args.command == "eco":
+        return _cmd_eco(args)
     if args.command == "batch":
         return _cmd_batch(args)
     if args.command == "routers":
@@ -593,6 +701,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure2(args)
     parser.error("unknown command %r" % args.command)  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` console script.
+
+    Anticipated failures -- a missing instance/spec/delta file, malformed
+    JSON, a bad spec or delta -- surface as one ``repro: error: ...`` line on
+    stderr and exit code 2, never a traceback.  Genuine bugs still raise.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except (OSError, ValueError) as exc:
+        print("repro: error: %s" % exc, file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print("repro: error: missing required field %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

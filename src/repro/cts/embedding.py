@@ -27,7 +27,7 @@ from repro.geometry.obstacles import ObstacleSet
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
 
-__all__ = ["embed_tree"]
+__all__ = ["embed_tree", "embed_new_nodes"]
 
 _TOL = 1e-6
 
@@ -85,6 +85,55 @@ def embed_tree(
                         loci[child.node_id], parent_location, obstacles, child.node_id
                     )
                 tree.set_location(child.node_id, location)
+            if obstacles is None:
+                _check_edge(parent_location, child.location, child.edge_length, child.node_id)
+            else:
+                total_detour += _extend_for_detour(tree, parent_location, child, obstacles)
+    return total_detour
+
+
+def embed_new_nodes(
+    tree,
+    loci: Dict[int, Trr],
+    obstacles: Optional[ObstacleSet] = None,
+) -> float:
+    """Embed only the nodes that do not yet carry a location.
+
+    The ECO variant of :func:`embed_tree`: the walk starts at the (located)
+    root and descends exclusively through location-less nodes, so a stitched
+    tree pays embedding cost proportional to its rebuilt cone, not its size.
+    Edges into already-located children -- the stitched frontier roots -- are
+    still checked (and, with obstacles, detour-extended) because the booked
+    length on them is new, but their subtrees are never entered: callers
+    guarantee those are internally embedded and obstacle-consistent, which
+    the ECO engine does by rebuilding any subtree a new blockage invalidates.
+
+    Returns the total detour extension, exactly like :func:`embed_tree`.
+    """
+    if obstacles is not None and not obstacles:
+        obstacles = None
+    root = tree.root()
+    if root.location is None:
+        raise ValueError("the tree root has no location")
+    total_detour = 0.0
+    stack = [root.node_id]
+    while stack:
+        node_id = stack.pop()
+        parent_location = tree.node(node_id).location
+        for child in tree.children_of(node_id):
+            if child.location is None:
+                if child.node_id not in loci:
+                    raise ValueError(
+                        "internal node %d has no placement locus" % child.node_id
+                    )
+                if obstacles is None:
+                    location = loci[child.node_id].nearest_point_to(parent_location)
+                else:
+                    location = _obstacle_aware_location(
+                        loci[child.node_id], parent_location, obstacles, child.node_id
+                    )
+                tree.set_location(child.node_id, location)
+                stack.append(child.node_id)
             if obstacles is None:
                 _check_edge(parent_location, child.location, child.edge_length, child.node_id)
             else:

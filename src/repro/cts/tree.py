@@ -155,6 +155,59 @@ class ClockTree:
         self.node(node_id).edge_length = edge_length
         self._mutations += 1
 
+    def copy_subtree_from(self, other: "ClockTree", root_id: int) -> Dict[int, int]:
+        """Graft a copy of ``other``'s subtree rooted at ``root_id`` into this tree.
+
+        Every node below (and including) ``root_id`` is copied with a fresh
+        contiguous id; child order, locations, edge lengths, sink caps, groups
+        and names are preserved exactly, so the copy is bit-identical to the
+        source subtree.  The copied root arrives detached (no parent, edge
+        length 0) ready to be adopted via :meth:`attach` or
+        :meth:`add_internal` / :meth:`add_source`.
+
+        Returns the old-id -> new-id mapping.
+        """
+        # Grafting is on the ECO hot path (it copies every clean node), so
+        # the traversal stays a tight preorder loop over the raw node dicts.
+        src = other._nodes
+        dst = self._nodes
+        next_id = self._next_id
+        id_map: Dict[int, int] = {}
+        stack = [root_id]
+        while stack:  # preorder: every parent is copied before its children
+            nid = stack.pop()
+            node = src[nid]
+            new_id = next_id
+            next_id += 1
+            id_map[nid] = new_id
+            if nid == root_id:
+                parent = None
+                edge_length = 0.0
+            else:
+                parent = id_map[node.parent]
+                edge_length = node.edge_length
+            # Positional construction: measurably cheaper than keywords on
+            # a 10k+-node graft and the field order is part of the dataclass.
+            dst[new_id] = ClockNode(
+                new_id,
+                node.kind,
+                node.location,
+                parent,
+                [],
+                edge_length,
+                node.sink_cap,
+                node.group,
+                node.name,
+            )
+            if parent is not None:
+                dst[parent].children.append(new_id)
+            children = node.children
+            if children:
+                stack.extend(children[::-1])
+        self._next_id = next_id
+        self._mutations += 1
+        return id_map
+
     def mark_mutated(self) -> None:
         """Invalidate cached derived views after direct node mutations.
 

@@ -1,0 +1,29 @@
+"""ECO incremental re-routing: apply small deltas without a full re-run.
+
+The delta model lives in :mod:`repro.eco.delta`, the dirty-cone rebuild and
+stitching engine in :mod:`repro.eco.engine`; the serialisable
+``EcoSpec``/``EcoResult`` facade is :mod:`repro.api.eco`.  See docs/eco.md.
+"""
+
+from repro.eco.delta import EcoDelta, EcoDeltaError, SinkAdd, SinkMove
+from repro.eco.engine import (
+    EcoConfig,
+    EcoOutcome,
+    EcoStats,
+    eco_reroute,
+    preserved_subtrees_identical,
+    subtree_signature,
+)
+
+__all__ = [
+    "EcoDelta",
+    "EcoDeltaError",
+    "SinkAdd",
+    "SinkMove",
+    "EcoConfig",
+    "EcoOutcome",
+    "EcoStats",
+    "eco_reroute",
+    "preserved_subtrees_identical",
+    "subtree_signature",
+]

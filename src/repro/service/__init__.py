@@ -9,9 +9,9 @@ fronted by a content-addressed result cache so repeat traffic never re-routes.
   in-memory LRU over on-disk JSON) cache keyed by ``RunSpec.cache_key()``,
   with :class:`CacheStats` and an invalidation API;
 * :mod:`repro.service.server`: :class:`RoutingServer` / :class:`ServerThread`
-  and the ``repro serve`` entry point (``POST /route``, streaming
-  ``POST /batch``, ``GET /routers``, ``GET /stats``, ``GET /healthz``,
-  ``POST /cache/clear``);
+  and the ``repro serve`` entry point (``POST /route``, ``POST /eco``,
+  streaming ``POST /batch``, ``GET /routers``, ``GET /stats``,
+  ``GET /healthz``, ``POST /cache/clear``);
 * :mod:`repro.service.client`: :class:`ServiceClient`, the blocking client;
 * :mod:`repro.service.loadtest`: the ``repro bench --suite service`` load
   harness (requests/sec, p50/p99, hit-rate gates).
@@ -30,7 +30,13 @@ See ``docs/service.md`` for the endpoint and cache semantics.
 """
 
 from repro.service.cache import CacheStats, RunCache
-from repro.service.client import BatchEvent, RouteResponse, ServiceClient, ServiceError
+from repro.service.client import (
+    BatchEvent,
+    EcoResponse,
+    RouteResponse,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.loadtest import run_service_suite, service_spec
 from repro.service.server import (
     RoutingServer,
@@ -43,6 +49,7 @@ from repro.service.server import (
 __all__ = [
     "BatchEvent",
     "CacheStats",
+    "EcoResponse",
     "RouteResponse",
     "RoutingServer",
     "RoutingService",

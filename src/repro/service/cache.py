@@ -96,15 +96,24 @@ class RunCache:
         memory_capacity: maximum entries of the in-memory LRU tier; ``0``
             disables it (every hit then reads from disk).
 
-    Thread-safe: the memory tier and the counters are guarded by a lock, and
-    disk writes are atomic renames, so the cache can be shared between a
-    server's event loop and load-generator threads.
+    Thread-safe: the memory tier, the counters *and the invalidation API*
+    are guarded by one lock (``invalidate()``/``clear()`` delete disk entries
+    under it too, so their removal counts cannot drift against a concurrent
+    ``put`` promoting the same key), and disk writes are atomic renames, so
+    the cache can be shared between a server's event loop and load-generator
+    threads.
+
+    ``decoder`` turns a stored JSON dict back into a result object (default:
+    ``RunResult.from_dict``); the service's ECO cache passes
+    ``EcoResult.from_dict`` so the same cache machinery serves both result
+    shapes.  Stored values only need a ``to_dict()``.
     """
 
     def __init__(
         self,
         cache_dir: Optional[Union[str, Path]] = None,
         memory_capacity: int = 256,
+        decoder=RunResult.from_dict,
     ) -> None:
         if memory_capacity < 0:
             raise ValueError("memory_capacity must be non-negative")
@@ -112,6 +121,7 @@ class RunCache:
             raise ValueError("a cache needs at least one tier (memory or disk)")
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.memory_capacity = memory_capacity
+        self._decoder = decoder
         self._memory: "OrderedDict[str, str]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -128,9 +138,14 @@ class RunCache:
     # ------------------------------------------------------------------
     @staticmethod
     def key_for(spec_or_key: Union[RunSpec, str]) -> str:
-        """The cache key of a spec (or a pre-computed key, passed through)."""
-        if isinstance(spec_or_key, RunSpec):
-            return spec_or_key.cache_key()
+        """The cache key of a spec (or a pre-computed key, passed through).
+
+        Anything exposing ``cache_key()`` qualifies as a spec (``RunSpec``,
+        ``EcoSpec``, future spec shapes).
+        """
+        cache_key = getattr(spec_or_key, "cache_key", None)
+        if cache_key is not None:
+            return cache_key()
         key = str(spec_or_key)
         # Keys become file names: reject anything that is not a hex digest so
         # a malicious "key" can never escape the cache directory.
@@ -159,7 +174,7 @@ class RunCache:
                 self._memory.move_to_end(key)
                 self._hits += 1
                 self._memory_hits += 1
-                return RunResult.from_dict(json.loads(text))
+                return self._decoder(json.loads(text))
         text = self._read_disk(key)
         with self._lock:
             if text is None:
@@ -168,15 +183,17 @@ class RunCache:
             self._hits += 1
             self._disk_hits += 1
             self._promote(key, text)
-        return RunResult.from_dict(json.loads(text))
+        return self._decoder(json.loads(text))
 
     def put(self, spec: Union[RunSpec, str], result: RunResult) -> str:
         """Store ``result`` under ``spec``'s key (returned) in both tiers."""
         key = self.key_for(spec)
         text = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
-        if self.cache_dir is not None:
-            self._write_disk_atomic(key, text)
+        # Both tiers are written under the lock so a concurrent invalidation
+        # observes the store entirely or not at all (never one tier of it).
         with self._lock:
+            if self.cache_dir is not None:
+                self._write_disk_atomic(key, text)
             self._stores += 1
             self._promote(key, text)
         return key
@@ -210,7 +227,7 @@ class RunCache:
         # treated as a miss and the entry is dropped so it cannot keep
         # costing a parse attempt per lookup.
         try:
-            RunResult.from_dict(json.loads(text))
+            self._decoder(json.loads(text))
         except Exception:  # noqa: BLE001 - corruption tolerance is the point
             with self._lock:
                 self._corrupt += 1
@@ -258,39 +275,48 @@ class RunCache:
     # Invalidation API
     # ------------------------------------------------------------------
     def invalidate(self, spec_or_key: Union[RunSpec, str]) -> bool:
-        """Drop one entry from both tiers; True when anything was removed."""
+        """Drop one entry from both tiers; True when anything was removed.
+
+        Both tiers are dropped under the lock: a concurrent ``put`` of the
+        same key then either lands entirely before (and is removed, counted
+        once) or entirely after (and survives, uncounted) -- the counter can
+        never double-count a memory-promoted key or miss a half-removed one.
+        """
         key = self.key_for(spec_or_key)
-        removed = False
         with self._lock:
-            if self._memory.pop(key, None) is not None:
-                removed = True
-        if self.cache_dir is not None:
-            try:
-                self._path(key).unlink()
-                removed = True
-            except OSError:
-                pass
-        if removed:
-            with self._lock:
+            removed = self._memory.pop(key, None) is not None
+            if self.cache_dir is not None:
+                try:
+                    self._path(key).unlink()
+                    removed = True
+                except OSError:
+                    pass
+            if removed:
                 self._invalidations += 1
         return removed
 
     def clear(self) -> int:
-        """Drop every entry from both tiers; returns the number removed."""
+        """Drop every entry from both tiers; returns the number removed.
+
+        An entry is counted once however many tiers hold it: the count is the
+        size of the *union* of memory keys and successfully unlinked disk
+        keys (``max`` of the tier sizes undercounts whenever each tier holds
+        keys the other does not -- e.g. memory-only entries alongside
+        disk-only entries evicted from the LRU).  Runs entirely under the
+        lock so a racing ``put`` cannot slip a promotion between the memory
+        sweep and the disk sweep.
+        """
         with self._lock:
-            removed = len(self._memory)
+            keys = set(self._memory)
             self._memory.clear()
-        disk_keys = set()
-        if self.cache_dir is not None and self.cache_dir.is_dir():
-            for path in self.cache_dir.glob("*.json"):
-                disk_keys.add(path.stem)
-                try:
-                    path.unlink()
-                except OSError:
-                    disk_keys.discard(path.stem)
-        # Entries present in both tiers count once.
-        removed = max(removed, len(disk_keys)) if disk_keys else removed
-        with self._lock:
+            if self.cache_dir is not None and self.cache_dir.is_dir():
+                for path in self.cache_dir.glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    keys.add(path.stem)
+            removed = len(keys)
             self._invalidations += removed
         return removed
 

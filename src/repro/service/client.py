@@ -19,9 +19,10 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.api.eco import EcoResult, EcoSpec
 from repro.api.spec import RunResult, RunSpec
 
-__all__ = ["ServiceClient", "ServiceError", "RouteResponse", "BatchEvent"]
+__all__ = ["ServiceClient", "ServiceError", "RouteResponse", "EcoResponse", "BatchEvent"]
 
 
 class ServiceError(RuntimeError):
@@ -40,6 +41,15 @@ class RouteResponse:
     key: str
     cached: bool
     result: RunResult
+
+
+@dataclass(frozen=True)
+class EcoResponse:
+    """One ``POST /eco`` answer."""
+
+    key: str
+    cached: bool
+    result: EcoResult
 
 
 @dataclass(frozen=True)
@@ -121,6 +131,17 @@ class ServiceClient:
             key=payload["key"],
             cached=bool(payload["cached"]),
             result=RunResult.from_dict(payload["result"]),
+        )
+
+    def eco(self, spec: Union[EcoSpec, Dict[str, Any]]) -> EcoResponse:
+        """Incrementally re-route one delta (cache-first on the server side)."""
+        payload = self._request_json(
+            "POST", "/eco", spec.to_dict() if isinstance(spec, EcoSpec) else dict(spec)
+        )
+        return EcoResponse(
+            key=payload["key"],
+            cached=bool(payload["cached"]),
+            result=EcoResult.from_dict(payload["result"]),
         )
 
     def iter_batch(

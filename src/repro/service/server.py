@@ -11,6 +11,12 @@ Endpoints (HTTP/1.1, one request per connection, ``Connection: close``):
 * ``POST /route`` -- body: one ``RunSpec`` dict.  Cache-first; a miss falls
   through to the routing worker pool.  Response:
   ``{"key", "cached", "result"}``.
+* ``POST /eco`` -- body: one :class:`~repro.api.eco.EcoSpec` dict.
+  Cache-first against a separate ECO result cache; a miss re-routes only the
+  delta's dirty cone, reusing the base routing from an in-memory LRU when a
+  previous request (``/eco`` with the same base) already computed it.
+  Response: ``{"key", "cached", "result"}`` with an
+  :class:`~repro.api.eco.EcoResult` payload.
 * ``POST /batch`` -- body: a list of spec dicts (or ``{"runs": [...]}``).
   Streams NDJSON: one ``{"index", "key", "cached", "result"}`` line per run
   *as it completes* (cached entries first, then
@@ -38,13 +44,15 @@ import asyncio
 import json
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.batch import BatchRunner, _init_worker, _picklable_registrations
+from repro.api.eco import EcoResult, EcoSpec, run_eco_safe
 from repro.api.registry import available_routers, router_description
 from repro.api.runner import run_safe
 from repro.api.spec import RunResult, RunSpec
@@ -88,6 +96,10 @@ class ServiceConfig:
     max_concurrency: int = 4
     #: Per-read timeout while parsing a request, seconds.
     read_timeout: float = 30.0
+    #: Base RoutingResults (full trees) kept in memory for ``POST /eco``:
+    #: repeated deltas against the same base skip the full base re-route,
+    #: which is the entire point of serving ECO.
+    base_routing_capacity: int = 8
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
@@ -109,6 +121,11 @@ class _ServerStats:
     batch_runs: int = 0
     route_hits: int = 0
     route_misses: int = 0
+    eco_requests: int = 0
+    eco_hits: int = 0
+    eco_misses: int = 0
+    #: /eco misses that reused an in-memory base routing (no full re-route).
+    eco_base_reuses: int = 0
     client_errors: int = 0
     server_errors: int = 0
     #: Wall time of the most recent /route requests (cache hits and misses).
@@ -124,6 +141,10 @@ class _ServerStats:
             "batch_runs": self.batch_runs,
             "route_hits": self.route_hits,
             "route_misses": self.route_misses,
+            "eco_requests": self.eco_requests,
+            "eco_hits": self.eco_hits,
+            "eco_misses": self.eco_misses,
+            "eco_base_reuses": self.eco_base_reuses,
             "client_errors": self.client_errors,
             "server_errors": self.server_errors,
             "latency": {
@@ -148,6 +169,18 @@ class RoutingService:
         self.cache = cache if cache is not None else RunCache(
             cache_dir=config.cache_dir, memory_capacity=config.memory_capacity
         )
+        # ECO results have their own cache (an EcoSpec key can never collide
+        # with a RunSpec key, but the decoders differ) under a sibling dir.
+        self.eco_cache = RunCache(
+            cache_dir=None
+            if config.cache_dir is None
+            else str(Path(config.cache_dir) / "eco"),
+            memory_capacity=config.memory_capacity,
+            decoder=EcoResult.from_dict,
+        )
+        # Base RoutingResults (full trees) for /eco, LRU by base cache key.
+        self._base_routings: "OrderedDict[str, Any]" = OrderedDict()
+        self._base_lock = threading.Lock()
         self.stats = _ServerStats()
         self._semaphore = asyncio.Semaphore(max(1, config.max_concurrency))
         # Executor threads block on the process pool / BatchRunner, so size
@@ -203,6 +236,56 @@ class RoutingService:
             self.cache.put(key, result)
         return key, False, result
 
+    def _run_eco_blocking(self, spec: EcoSpec) -> EcoResult:
+        """ECO one spec (called from an executor thread, never the loop).
+
+        ECO computes stay in-process: the base routing LRU holds live
+        ``RoutingResult`` trees that cannot cross a process boundary, and an
+        incremental re-route is orders of magnitude cheaper than the full
+        runs the worker pool exists for.
+        """
+        base_key = spec.base.cache_key()
+        with self._base_lock:
+            routing = self._base_routings.get(base_key)
+            if routing is not None:
+                self._base_routings.move_to_end(base_key)
+        if routing is not None:
+            self.stats.eco_base_reuses += 1
+        else:
+            try:
+                from repro.api.runner import run
+
+                routing = run(spec.base, keep_tree=True).routing
+            except Exception as exc:  # noqa: BLE001 - surfaced in the result
+                import traceback
+
+                return EcoResult(
+                    spec=spec,
+                    error="%s: %s\n%s"
+                    % (type(exc).__name__, exc, traceback.format_exc()),
+                )
+            with self._base_lock:
+                self._base_routings[base_key] = routing
+                self._base_routings.move_to_end(base_key)
+                while len(self._base_routings) > max(1, self.config.base_routing_capacity):
+                    self._base_routings.popitem(last=False)
+        return run_eco_safe(spec, base_routing=routing)
+
+    async def eco_one(self, spec: EcoSpec) -> Tuple[str, bool, EcoResult]:
+        """Cache-first single-spec ECO: ``(key, cached, result)``."""
+        key = spec.cache_key()
+        cached = self.eco_cache.get(key)
+        if cached is not None:
+            return key, True, cached
+        loop = asyncio.get_running_loop()
+        async with self._semaphore:
+            result = await loop.run_in_executor(
+                self._threads, self._run_eco_blocking, spec
+            )
+        if result.error is None:
+            self.eco_cache.put(key, result)
+        return key, False, result
+
     async def batch_events(self, specs: List[RunSpec]):
         """Async iterator of ``(index, key, cached, result)`` in completion
         order: cached entries first, then ``BatchRunner`` completions."""
@@ -256,13 +339,24 @@ class RoutingService:
         import repro
         from repro.metrics import peak_rss_mb
 
+        with self._base_lock:
+            base_routings = len(self._base_routings)
         return {
             "version": repro.__version__,
             "cache": self.cache.stats().to_dict(),
+            "eco_cache": self.eco_cache.stats().to_dict(),
+            "base_routings": base_routings,
             "server": self.stats.to_dict(),
             # Same measurement path as RunResult.stats / the bench harness.
             "resources": {"peak_rss_mb": peak_rss_mb()},
         }
+
+    def clear_caches(self) -> int:
+        """Drop every cached result (run + eco tiers) and base routing."""
+        removed = self.cache.clear() + self.eco_cache.clear()
+        with self._base_lock:
+            self._base_routings.clear()
+        return removed
 
     def close(self) -> None:
         self._threads.shutdown(wait=False)
@@ -300,6 +394,20 @@ def _parse_specs(body: bytes, batch: bool) -> List[RunSpec]:
         except (KeyError, TypeError, ValueError) as exc:
             raise _HttpError(400, "bad run spec at index %d: %s" % (index, exc)) from exc
     return specs
+
+
+def _parse_eco_spec(body: bytes) -> EcoSpec:
+    """Decode an ``/eco`` request body; 400s carry the exact reason."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, "request body is not valid JSON: %s" % exc) from exc
+    if not isinstance(data, dict):
+        raise _HttpError(400, "eco body must be one eco spec object")
+    try:
+        return EcoSpec.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _HttpError(400, "bad eco spec: %s" % exc) from exc
 
 
 class RoutingServer:
@@ -433,6 +541,20 @@ class RoutingServer:
             await self._send_json(
                 writer, 200, {"key": key, "cached": cached, "result": result.to_dict()}
             )
+        elif path == "/eco":
+            self._require(method, "POST", path)
+            stats.eco_requests += 1
+            spec = _parse_eco_spec(body)
+            started = time.perf_counter()
+            key, cached, result = await self.service.eco_one(spec)
+            stats.route_latencies.append(time.perf_counter() - started)
+            if cached:
+                stats.eco_hits += 1
+            else:
+                stats.eco_misses += 1
+            await self._send_json(
+                writer, 200, {"key": key, "cached": cached, "result": result.to_dict()}
+            )
         elif path == "/batch":
             self._require(method, "POST", path)
             stats.batch_requests += 1
@@ -440,7 +562,7 @@ class RoutingServer:
             await self._stream_batch(writer, specs)
         elif path == "/cache/clear":
             self._require(method, "POST", path)
-            removed = self.service.cache.clear()
+            removed = self.service.clear_caches()
             await self._send_json(writer, 200, {"cleared": removed})
         else:
             raise _HttpError(404, "no such endpoint %r" % path)

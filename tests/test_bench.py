@@ -368,4 +368,74 @@ class TestLargeSuite:
     def test_cli_accepts_large_suite_and_profile(self):
         args = build_parser().parse_args(["bench", "--suite", "large", "--profile"])
         assert args.suite == "large"
-        assert args.profile is True
+
+
+class TestV6EcoSuite:
+    """The v6 additions: ``--suite eco`` rows and gates."""
+
+    @pytest.fixture(scope="class")
+    def eco_payload(self):
+        return run_suite(suite="eco", sizes=(80,), smoke=True)
+
+    def test_payload_schema(self, eco_payload):
+        validate_bench_payload(eco_payload)
+        assert eco_payload["suite"] == "eco"
+        assert eco_payload["sizes"] == []
+        # --suite eco --sizes applies the explicit sizes to the ECO sweep.
+        assert eco_payload["eco_sizes"] == [80]
+        assert len(eco_payload["rows"]) == 1
+        json.dumps(eco_payload)
+
+    def test_row_measures_the_incremental_path(self, eco_payload):
+        (row,) = eco_payload["rows"]
+        assert row["kind"] == "eco"
+        assert row["ok"], row["error"]
+        assert row["moved_sinks"] > 0
+        assert 0.0 < row["eco_seconds"]
+        assert 0.0 < row["full_seconds"]
+        assert row["speedup"] == pytest.approx(
+            row["full_seconds"] / row["eco_seconds"]
+        )
+        assert row["reused_nodes"] + row["rebuilt_nodes"] == row["num_nodes"]
+        assert row["preserved_identical"] is True
+        assert row["validation_ok"] is True
+
+    def test_gate_waives_speedup_in_smoke_but_not_identity(self, eco_payload):
+        gates = [g for g in eco_payload["gates"] if g["kind"] == "eco"]
+        assert len(gates) == 1
+        gate = gates[0]
+        assert gate["threshold"] == 0.0  # smoke: speed-up waived...
+        assert gate["preserved_identical"] is True  # ...identity never
+        assert gate["validation_ok"] is True
+        assert gate["passed"], gate
+
+    def test_gate_threshold_is_the_issue_target(self):
+        from repro.bench import ECO_SIZES, GATE_ECO_SPEEDUP, SMOKE_ECO_SIZES
+
+        assert GATE_ECO_SPEEDUP == 10.0
+        assert max(ECO_SIZES) == 8000
+        assert SMOKE_ECO_SIZES == (120,)
+
+    def test_validate_rejects_missing_eco_sizes(self, smoke_payload):
+        bad = {k: v for k, v in smoke_payload.items() if k != "eco_sizes"}
+        with pytest.raises(ValueError, match="eco_sizes"):
+            validate_bench_payload(bad)
+
+    def test_validate_rejects_eco_gate_missing_keys(self, smoke_payload):
+        bad = dict(smoke_payload, gates=[{"kind": "eco", "name": "eco-n1"}])
+        with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+    def test_format_rows_has_eco_table(self, eco_payload):
+        text = format_rows(eco_payload)
+        assert "ast-dme-eco-n80" in text
+        assert "speedup" in text and "identical" in text
+        assert "PASS" in text
+
+    def test_cli_accepts_eco_suite(self):
+        args = build_parser().parse_args(
+            ["bench", "--suite", "eco", "--eco-sizes", "120"]
+        )
+        assert args.suite == "eco"
+        assert args.eco_sizes == [120]
+        assert args.profile is False  # profiling stays opt-in

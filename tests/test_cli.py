@@ -102,9 +102,11 @@ class TestCommands:
         save_benchmark(blocked_instance("b", 40, seed=6, layout_size=20_000.0), path)
         assert main(["route", str(path), "--benchmark", "--algorithm", "greedy-dme"]) == 0
         assert "wirelength" in capsys.readouterr().out
-        # Without --benchmark the v1 parser must reject the CNS file loudly.
-        with pytest.raises(ValueError):
-            main(["route", str(path), "--algorithm", "greedy-dme"])
+        # Without --benchmark the v1 parser must reject the CNS file loudly
+        # -- as one clean error line on stderr, not a traceback.
+        assert main(["route", str(path), "--algorithm", "greedy-dme"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
 
     def test_routers_lists_registry(self, capsys):
         assert main(["routers"]) == 0
@@ -147,3 +149,119 @@ class TestBatchCommand:
         path = self._write_specs(tmp_path, [self._spec(), self._spec("no-such-router")])
         assert main(["batch", path, "--workers", "1"]) == 1
         assert "ERROR" in capsys.readouterr().out
+
+
+class TestEcoCommand:
+    @staticmethod
+    def _base_file(tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "instance": {"kind": "random", "num_sinks": 30, "seed": 4, "groups": 3},
+                    "router": {"name": "ast-dme", "options": {"skew_bound_ps": 10.0}},
+                }
+            )
+        )
+        return str(path)
+
+    @staticmethod
+    def _delta_file(tmp_path, delta):
+        path = tmp_path / "delta.json"
+        path.write_text(json.dumps(delta))
+        return str(path)
+
+    def test_eco_happy_path(self, tmp_path, capsys):
+        base = self._base_file(tmp_path)
+        delta = self._delta_file(
+            tmp_path, {"move": [{"sink_id": 2, "location": [1200.0, 3400.0]}]}
+        )
+        assert main(["eco", "--base", base, "--delta", delta, "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "dirty cone" in out
+        assert "validation     : ok" in out
+
+    def test_eco_json_output(self, tmp_path, capsys):
+        base = self._base_file(tmp_path)
+        delta = self._delta_file(tmp_path, {"remove": [5]})
+        assert main(["eco", "--base", base, "--delta", delta, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["eco"]["sinks_removed"] == 1
+        assert data["num_sinks"] == 29
+
+    def test_eco_parser_requires_base_and_delta(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eco", "--base", "b.json"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eco", "--delta", "d.json"])
+
+
+class TestErrorSurfaces:
+    """Anticipated failures exit 2 with one ``repro: error:`` line on stderr,
+    never a traceback (for eco, route and optimize alike)."""
+
+    def _assert_clean_error(self, capsys, code):
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.count("\n") == 1  # one line
+        assert "Traceback" not in err
+
+    def test_route_missing_instance_file(self, capsys):
+        self._assert_clean_error(capsys, main(["route", "/nonexistent/x.inst"]))
+
+    def test_optimize_missing_instance_file(self, capsys):
+        self._assert_clean_error(capsys, main(["optimize", "/nonexistent/x.inst"]))
+
+    def test_eco_missing_base_file(self, tmp_path, capsys):
+        delta = tmp_path / "d.json"
+        delta.write_text("{}")
+        self._assert_clean_error(
+            capsys,
+            main(["eco", "--base", "/nonexistent/base.json", "--delta", str(delta)]),
+        )
+
+    def test_eco_missing_delta_file(self, tmp_path, capsys):
+        base = TestEcoCommand._base_file(tmp_path)
+        self._assert_clean_error(
+            capsys, main(["eco", "--base", base, "--delta", "/nonexistent/d.json"])
+        )
+
+    def test_eco_invalid_delta_json(self, tmp_path, capsys):
+        base = TestEcoCommand._base_file(tmp_path)
+        delta = tmp_path / "d.json"
+        delta.write_text("{not json")
+        self._assert_clean_error(
+            capsys, main(["eco", "--base", base, "--delta", str(delta)])
+        )
+        # And a JSON array instead of an object:
+        delta.write_text("[1, 2]")
+        self._assert_clean_error(
+            capsys, main(["eco", "--base", base, "--delta", str(delta)])
+        )
+
+    def test_eco_unknown_delta_key(self, tmp_path, capsys):
+        base = TestEcoCommand._base_file(tmp_path)
+        delta = TestEcoCommand._delta_file(tmp_path, {"wat": []})
+        self._assert_clean_error(
+            capsys, main(["eco", "--base", base, "--delta", delta])
+        )
+        assert True  # message content checked below for the applied case
+
+    def test_eco_inapplicable_delta(self, tmp_path, capsys):
+        base = TestEcoCommand._base_file(tmp_path)
+        delta = TestEcoCommand._delta_file(
+            tmp_path, {"move": [{"sink_id": 99999, "location": [0.0, 0.0]}]}
+        )
+        assert main(["eco", "--base", base, "--delta", delta]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sink ids" in err and "Traceback" not in err
+
+    def test_eco_bad_base_spec(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"router": {"name": "ast-dme"}}))  # no instance
+        delta = TestEcoCommand._delta_file(tmp_path, {})
+        self._assert_clean_error(
+            capsys, main(["eco", "--base", str(base), "--delta", delta])
+        )

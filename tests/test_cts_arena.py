@@ -133,6 +133,41 @@ class TestTreeArena:
         assert second is not first
         assert second.num_nodes == first.num_nodes + 1
 
+    def test_every_mutator_invalidates_an_interleaved_snapshot(self):
+        """Regression for stale-snapshot hazards: each public mutator must
+        bump the mutation counter so an ``as_arena()`` call interleaved with
+        edits never serves yesterday's tree."""
+        tree = small_tree()
+        donor = small_tree()
+
+        stale = tree.as_arena()
+        tree.set_location(2, Point(6.0, 1.0))
+        fresh = tree.as_arena()
+        assert fresh is not stale
+        assert fresh.xs[2] == 6.0 and fresh.ys[2] == 1.0
+
+        stale = fresh
+        tree.set_edge_length(0, 7.5)
+        fresh = tree.as_arena()
+        assert fresh is not stale
+        assert fresh.edge_lengths[0] == 7.5
+
+        stale = fresh
+        orphan = tree.add_sink(Point(2.0, 2.0), sink_cap=0.5)
+        assert tree.as_arena() is not stale
+
+        stale = tree.as_arena()
+        tree.attach(tree.root_id, orphan, edge_length=3.0)
+        fresh = tree.as_arena()
+        assert fresh is not stale
+        assert fresh.parents[orphan] == tree.root_id
+
+        stale = fresh
+        mapping = tree.copy_subtree_from(donor, donor.root_id)
+        fresh = tree.as_arena()
+        assert fresh is not stale
+        assert fresh.num_nodes == stale.num_nodes + len(mapping)
+
     def test_mark_mutated_invalidates_after_in_place_edits(self):
         """Bulk editors that write node attributes directly (the opt passes'
         snapshot/restore loops) must be able to invalidate the cache."""

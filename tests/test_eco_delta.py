@@ -1,0 +1,134 @@
+"""Tests for the ECO delta model (repro.eco.delta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generator import random_instance
+from repro.eco import EcoDelta, EcoDeltaError, SinkAdd, SinkMove
+from repro.geometry.obstacles import Rect
+from repro.geometry.point import Point
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_instance("delta-base", 40, seed=5, num_groups=4)
+
+
+def _move(sink_id, x=1000.0, y=2000.0):
+    return SinkMove(sink_id=sink_id, location=Point(x, y))
+
+
+class TestValidation:
+    def test_duplicate_moves_rejected(self):
+        with pytest.raises(EcoDeltaError):
+            EcoDelta(move=(_move(1), _move(1, 5.0, 5.0)))
+
+    def test_duplicate_removes_rejected(self):
+        with pytest.raises(EcoDeltaError):
+            EcoDelta(remove=(3, 3))
+
+    def test_move_and_remove_same_sink_rejected(self):
+        with pytest.raises(EcoDeltaError):
+            EcoDelta(move=(_move(2),), remove=(2,))
+
+    def test_negative_added_cap_rejected(self):
+        with pytest.raises(EcoDeltaError):
+            SinkAdd(location=Point(0.0, 0.0), cap=-1.0)
+
+    def test_empty_delta_properties(self):
+        delta = EcoDelta()
+        assert delta.is_empty
+        assert delta.num_changes == 0
+        assert delta.to_dict() == {}
+
+    def test_iterables_normalise_to_tuples(self):
+        delta = EcoDelta(move=[_move(1)], remove=[4, 5])
+        assert isinstance(delta.move, tuple)
+        assert delta.remove == (4, 5)
+        assert delta.num_changes == 3
+
+
+class TestApply:
+    def test_move_relocates_without_changing_id_or_cap(self, instance):
+        sink = instance.sinks[7]
+        delta = EcoDelta(move=(_move(7, 123.0, 456.0),))
+        new = delta.apply(instance)
+        moved = next(s for s in new.sinks if s.sink_id == 7)
+        assert moved.location == Point(123.0, 456.0)
+        assert moved.cap == sink.cap and moved.group == sink.group
+        assert new.num_sinks == instance.num_sinks
+        assert new.name == instance.name + "+eco"
+
+    def test_added_sinks_get_fresh_sequential_ids(self, instance):
+        delta = EcoDelta(
+            add=(
+                SinkAdd(location=Point(10.0, 10.0), cap=0.05, group=1),
+                SinkAdd(location=Point(20.0, 20.0), cap=0.07, group=2),
+            )
+        )
+        expected = delta.added_sink_ids(instance)
+        new = delta.apply(instance)
+        top = max(s.sink_id for s in instance.sinks)
+        assert expected == (top + 1, top + 2)
+        added = sorted(
+            (s for s in new.sinks if s.sink_id > top), key=lambda s: s.sink_id
+        )
+        assert [s.sink_id for s in added] == list(expected)
+        assert added[0].group == 1 and added[1].group == 2
+
+    def test_remove_drops_the_sink(self, instance):
+        new = EcoDelta(remove=(3,)).apply(instance)
+        assert all(s.sink_id != 3 for s in new.sinks)
+        assert new.num_sinks == instance.num_sinks - 1
+
+    def test_unknown_sink_ids_raise(self, instance):
+        with pytest.raises(EcoDeltaError, match="unknown sink ids"):
+            EcoDelta(move=(_move(10_000),)).apply(instance)
+        with pytest.raises(EcoDeltaError, match="unknown sink ids"):
+            EcoDelta(remove=(10_000,)).apply(instance)
+
+    def test_removing_every_sink_raises(self, instance):
+        delta = EcoDelta(remove=tuple(s.sink_id for s in instance.sinks))
+        with pytest.raises(EcoDeltaError, match="removes every sink"):
+            delta.apply(instance)
+
+    def test_blockage_swallowing_a_kept_sink_raises(self, instance):
+        sink = instance.sinks[0]
+        rect = Rect(
+            sink.location.x - 1.0,
+            sink.location.y - 1.0,
+            sink.location.x + 1.0,
+            sink.location.y + 1.0,
+        )
+        with pytest.raises(EcoDeltaError):
+            EcoDelta(add_blockages=(rect,)).apply(instance)
+
+    def test_blockages_append_to_obstacles(self, instance):
+        rect = Rect(1.0, 1.0, 2.0, 2.0)
+        new = EcoDelta(add_blockages=(rect,)).apply(instance)
+        assert rect in new.obstacles
+        assert len(new.obstacles) == len(instance.obstacles) + 1
+
+
+class TestSerialisation:
+    def test_round_trip_is_lossless(self):
+        delta = EcoDelta(
+            add=(SinkAdd(location=Point(1.0, 2.0), cap=0.1, group=3),),
+            move=(_move(5, 7.0, 8.0),),
+            remove=(9,),
+            add_blockages=(Rect(0.0, 0.0, 4.0, 4.0),),
+        )
+        assert EcoDelta.from_dict(delta.to_dict()) == delta
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(EcoDeltaError, match="unknown delta keys"):
+            EcoDelta.from_dict({"mov": []})
+
+    def test_malformed_entries_rejected(self):
+        with pytest.raises(EcoDeltaError, match="malformed delta"):
+            EcoDelta.from_dict({"move": [{"sink_id": 1}]})  # no location
+        with pytest.raises(EcoDeltaError, match="malformed delta"):
+            EcoDelta.from_dict({"add": [{"location": "not-a-pair"}]})
+        with pytest.raises(EcoDeltaError, match="malformed delta"):
+            EcoDelta.from_dict({"add_blockages": [[1.0, 2.0]]})  # not 4 coords

@@ -243,3 +243,68 @@ class TestInvalidation:
         assert len(cache) == 0
         assert cache.get(spec) is None
         assert cache.stats().disk_entries == 0
+
+    def test_clear_counts_the_union_of_tiers(self, routed, tmp_path):
+        # Regression: clear() used to report max(len(memory), len(disk)),
+        # undercounting whenever each tier held keys the other did not.
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c", memory_capacity=2)
+        keys = []
+        for seed in (101, 102, 103):
+            other = RunSpec(
+                instance=InstanceSpec.from_random(12, seed=seed),
+                router=RouterSpec("greedy-dme"),
+            )
+            keys.append(cache.put(other, result))
+        # Memory holds the last two keys (LRU capacity 2); removing the
+        # newest key's file behind the cache's back makes it memory-only.
+        # Tiers: memory {k1, k2}, disk {k0, k1} -- union 3, max() says 2.
+        (tmp_path / "c" / (keys[2] + ".json")).unlink()
+        assert cache.clear() == 3
+
+    def test_invalidate_memory_promoted_entry_counts_once(self, routed, tmp_path):
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        cache.put(spec, result)  # both tiers hold the key
+        assert cache.invalidate(spec) is True
+        assert cache.stats().invalidations == 1  # one entry, one count
+
+    def test_invalidate_racing_a_writer_never_drifts(self, routed, tmp_path):
+        # put and invalidate hammer one key concurrently; the invalidation
+        # counter must equal the number of successful removals (True
+        # returns), since both tiers are dropped under one lock.
+        spec, result = routed
+        cache = RunCache(cache_dir=tmp_path / "c")
+        stop = threading.Event()
+        removals = []
+
+        def writer():
+            while not stop.is_set():
+                cache.put(spec, result)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                removals.append(cache.invalidate(spec))
+        finally:
+            stop.set()
+            thread.join()
+        assert cache.stats().invalidations == sum(removals)
+
+
+class TestDecoder:
+    def test_decoder_serves_other_result_shapes(self, tmp_path):
+        # The service's ECO cache reuses RunCache with EcoResult.from_dict;
+        # key_for accepts anything exposing cache_key().
+        from repro.api.eco import EcoResult, EcoSpec
+        from repro.eco import EcoDelta
+
+        spec = EcoSpec(base=_spec(), delta=EcoDelta())
+        result = EcoResult(spec=spec, instance_name="x", num_sinks=12)
+        cache = RunCache(cache_dir=tmp_path / "c", decoder=EcoResult.from_dict)
+        key = cache.put(spec, result)
+        assert key == spec.cache_key()
+        hit = cache.get(spec)
+        assert isinstance(hit, EcoResult)
+        assert hit.to_dict() == result.to_dict()

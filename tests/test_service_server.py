@@ -122,6 +122,86 @@ class TestEndpoints:
         assert client.route(spec).cached is True
 
 
+class TestEcoEndpoint:
+    """``POST /eco``: incremental re-routes with their own cache and the
+    server-side base-routing LRU."""
+
+    @staticmethod
+    def _eco_spec(seed=5, move_id=3, dx=900.0):
+        from repro.api.eco import EcoSpec
+        from repro.eco import EcoDelta, SinkMove
+        from repro.geometry.point import Point
+
+        base = RunSpec(
+            instance=InstanceSpec.from_random(24, seed=seed, groups=4),
+            router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+        )
+        delta = EcoDelta(move=(SinkMove(move_id, Point(2000.0 + dx, 3000.0)),))
+        return EcoSpec(base=base, delta=delta, validate=True)
+
+    def test_eco_miss_then_hit(self, client):
+        spec = self._eco_spec(seed=91)
+        cold = client.eco(spec)
+        assert cold.cached is False
+        assert cold.key == spec.cache_key()
+        assert cold.result.ok, cold.result.issues or cold.result.error
+        assert cold.result.eco.sinks_moved == 1
+        hot = client.eco(spec)
+        assert hot.cached is True and hot.key == cold.key
+        # The acceptance criterion: hits are byte-identical via to_dict().
+        assert hot.result.to_dict() == cold.result.to_dict()
+
+    def test_base_routing_reused_across_deltas(self, client):
+        before = client.stats()["server"]["eco_base_reuses"]
+        first = client.eco(self._eco_spec(seed=92, move_id=2))
+        second = client.eco(self._eco_spec(seed=92, move_id=7))
+        assert first.cached is False and second.cached is False
+        assert first.key != second.key
+        # The second delta found the base routing in the LRU: no re-route.
+        assert second.result.base_seconds == 0.0
+        assert client.stats()["server"]["eco_base_reuses"] >= before + 1
+
+    def test_eco_accepts_plain_dicts(self, client):
+        spec = self._eco_spec(seed=93)
+        response = client.eco(spec.to_dict())
+        assert response.key == spec.cache_key()
+        assert response.result.error is None
+
+    def test_bad_eco_spec_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request_json("POST", "/eco", {"base": "nonsense"})
+        assert excinfo.value.status == 400
+        assert "bad eco spec" in excinfo.value.message
+
+    def test_eco_errors_reported_not_cached(self, client):
+        spec = self._eco_spec(seed=94).to_dict()
+        spec["delta"] = {"move": [{"sink_id": 99999, "location": [0.0, 0.0]}]}
+        response = client._request_json("POST", "/eco", spec)
+        assert response["cached"] is False
+        assert "unknown sink ids" in response["result"]["error"]
+        again = client._request_json("POST", "/eco", spec)
+        assert again["cached"] is False  # errors are never cached
+
+    def test_stats_carry_eco_counters_and_cache(self, client):
+        spec = self._eco_spec(seed=95)
+        client.eco(spec)
+        client.eco(spec)
+        payload = client.stats()
+        server_stats = payload["server"]
+        assert server_stats["eco_requests"] >= 2
+        assert server_stats["eco_hits"] >= 1
+        assert server_stats["eco_misses"] >= 1
+        assert payload["eco_cache"]["stores"] >= 1
+        assert payload["base_routings"] >= 1
+
+    def test_cache_clear_also_clears_eco_tier(self, client):
+        spec = self._eco_spec(seed=96)
+        assert client.eco(spec).cached is False
+        client.clear_cache()
+        assert client.eco(spec).cached is False  # eco tier was dropped too
+        assert client.eco(spec).cached is True
+
+
 class TestHttpErrors:
     def test_unknown_path_is_404(self, client):
         with pytest.raises(ServiceError) as excinfo:
