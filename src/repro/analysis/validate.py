@@ -29,7 +29,7 @@ import networkx as nx
 
 from repro.analysis.skew import skew_report
 from repro.delay.elmore import sink_delays
-from repro.delay.rc_tree import RcTree
+from repro.delay.rc_tree import oracle_delays
 from repro.delay.technology import Technology
 from repro.geometry.obstacles import ObstacleSet
 
@@ -274,7 +274,7 @@ def _check_blockages(tree, obstacles: ObstacleSet) -> List[ValidationIssue]:
 def _check_delays(tree) -> List[ValidationIssue]:
     issues: List[ValidationIssue] = []
     fast = sink_delays(tree)
-    oracle = RcTree.from_clock_tree(tree).elmore_delays()
+    oracle = oracle_delays(tree)
     for sink_id, fast_delay in fast.items():
         oracle_delay = oracle[sink_id]
         scale = max(abs(fast_delay), abs(oracle_delay), 1.0)

@@ -241,6 +241,14 @@ def _make_greedy_dme(options: Dict[str, Any]) -> Router:
     return GreedyDme(config=_ast_config_from_options(options))
 
 
+def _make_h_tree(options: Dict[str, Any]) -> Router:
+    from repro.core.htree import HTreeRouter
+
+    trunk_levels = options.pop("trunk_levels", 2)
+    config = _ast_config_from_options(options, shorthands=("trunk_levels",))
+    return HTreeRouter(config, trunk_levels=int(trunk_levels))
+
+
 register_router(
     "ast-dme",
     _make_ast_dme,
@@ -256,4 +264,10 @@ register_router(
     "greedy-dme",
     _make_greedy_dme,
     description="zero-skew baseline (greedy-DME / classic balanced merges)",
+)
+register_router(
+    "h-tree",
+    _make_h_tree,
+    description="H-tree trunk hybrid: recursive geometric-centre trunk, "
+    "delay-aligned junctions, AST-DME leaf subtrees",
 )

@@ -53,6 +53,11 @@ class InstanceSpec:
 
     For every kind, ``groups`` > 1 (re)applies the ``grouping`` style
     (``intermingled`` / ``clustered`` / ``striped``) with ``grouping_seed``.
+    ``technology`` (the JSON form of :class:`~repro.delay.technology.
+    Technology`, see ``Technology.to_dict``) overrides the instance's
+    interconnect technology for every kind; it participates in ``to_dict`` and
+    therefore in ``RunSpec.cache_key()``, so runs of the same instance under
+    different technologies never collide in the result cache.
     """
 
     kind: str = "circuit"
@@ -66,8 +71,16 @@ class InstanceSpec:
     grouping_seed: int = 7
     family: Optional[str] = None
     num_blockages: Optional[int] = None
+    technology: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
+        if self.technology is not None:
+            from repro.delay.technology import Technology
+
+            # Normalise to a plain dict and fail loudly on malformed payloads
+            # (unknown keys, missing fields) at spec-construction time.
+            object.__setattr__(self, "technology", dict(self.technology))
+            Technology.from_dict(self.technology)
         if self.kind not in _KINDS:
             raise ValueError("unknown instance kind %r; expected one of %s" % (self.kind, _KINDS))
         if self.kind in ("file", "benchmark") and not self.path:
@@ -123,6 +136,7 @@ class InstanceSpec:
         groups: int = 1,
         grouping: str = "intermingled",
         grouping_seed: int = 7,
+        technology: Optional[Mapping[str, Any]] = None,
     ) -> "InstanceSpec":
         """A seeded random instance (deterministic for a given spec)."""
         return cls(
@@ -133,6 +147,7 @@ class InstanceSpec:
             groups=groups,
             grouping=grouping,
             grouping_seed=grouping_seed,
+            technology=technology,
         )
 
     @classmethod
@@ -151,6 +166,7 @@ class InstanceSpec:
         groups: int = 1,
         grouping: str = "intermingled",
         grouping_seed: int = 7,
+        technology: Optional[Mapping[str, Any]] = None,
     ) -> "InstanceSpec":
         """A seeded synthetic scenario family (``clustered``/``ring``/``blocked``)."""
         return cls(
@@ -163,11 +179,22 @@ class InstanceSpec:
             groups=groups,
             grouping=grouping,
             grouping_seed=grouping_seed,
+            technology=technology,
         )
 
     # ------------------------------------------------------------------
     def build(self) -> ClockInstance:
         """Materialise the described :class:`ClockInstance`."""
+        return self._apply_technology(self._build_instance())
+
+    def _apply_technology(self, instance: ClockInstance) -> ClockInstance:
+        if self.technology is None:
+            return instance
+        from repro.delay.technology import Technology
+
+        return instance.with_technology(Technology.from_dict(self.technology))
+
+    def _build_instance(self) -> ClockInstance:
         if self.kind == "file":
             from repro.circuits.io import load_instance
 
@@ -240,6 +267,9 @@ class InstanceSpec:
             grouping=self.grouping,
             grouping_seed=self.grouping_seed,
         )
+        if self.technology is not None:
+            # Emitted only when set, so pre-existing cache keys stay stable.
+            data["technology"] = dict(self.technology)
         return data
 
     @classmethod
@@ -247,6 +277,7 @@ class InstanceSpec:
         known = {
             "kind", "path", "circuit", "num_sinks", "seed", "layout_size",
             "groups", "grouping", "grouping_seed", "family", "num_blockages",
+            "technology",
         }
         unknown = sorted(set(data) - known)
         if unknown:

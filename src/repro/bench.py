@@ -20,6 +20,11 @@ Three kinds of routing rows are produced per instance size:
   (``scalar`` seed reference, ``rebuild`` vectorised, ``incremental``
   maintained index) -- the merging loop dominates there, which is what the
   speed-up *gates* measure;
+* buffered-CTS rows (since schema v7): the blocked instance under the
+  cap-limited buffered pipeline, a buffer-free identity row whose pipeline
+  carries the insertion pass but no cap limit, and an ``h-tree`` trunk-hybrid
+  comparison row -- gated on buffer-free bit-identity, at least one clean
+  validated insertion, and the h-tree wirelength ratio;
 * one obstacle-scenario row per router on the ``blocked`` generator family
   (uniform sinks dodging macro blockages) -- the obstacle-aware embedding
   path, tracked with the same wall/RSS/quality columns.  These rows run with
@@ -48,7 +53,7 @@ from repro.api.registry import RouterSpec
 from repro.api.runner import run
 from repro.api.spec import InstanceSpec, RunSpec
 from repro.metrics import peak_rss_mb
-from repro.opt.config import OptConfig
+from repro.opt.config import BUFFERED_PASSES, OptConfig
 
 __all__ = [
     "SCHEMA",
@@ -62,6 +67,8 @@ __all__ = [
     "GATE_SPEEDUP",
     "GATE_BACKEND_SPEEDUP",
     "GATE_ECO_SPEEDUP",
+    "BENCH_MAX_CAP",
+    "GATE_HTREE_MAX_WIRELENGTH_RATIO",
     "LARGE_WALL_LIMITS",
     "LARGE_RSS_LIMITS",
     "scaling_configs",
@@ -83,10 +90,15 @@ __all__ = [
 #: ``delay_seconds`` row columns, the arena-vs-object identity rows + backend
 #: gates, and the ``--suite large`` sweep (50k/200k sinks) with its resource
 #: gates (wall/RSS ceilings) and the top-level ``large_sizes`` field;
-#: v6 adds the ``kind == "eco"`` rows and gates of ``--suite eco`` (the
+#: v6 added the ``kind == "eco"`` rows and gates of ``--suite eco`` (the
 #: incremental re-route versus a full re-route of the same instance) and the
-#: top-level ``eco_sizes`` field.
-SCHEMA = "repro-bench/v6"
+#: top-level ``eco_sizes`` field;
+#: v7 adds the ``buffers_inserted`` / ``validation_issues`` row columns, the
+#: ``h-tree`` comparison rows and buffered-insertion rows on the blocked
+#: scenarios, and the ``buffered`` (buffer-free runs stay bit-identical;
+#: buffered runs insert and validate) and ``htree`` (valid tree within the
+#: wirelength ratio ceiling versus ast-dme) gates.
+SCHEMA = "repro-bench/v7"
 
 #: The suites ``repro bench --suite`` can run.
 SUITES = ("scaling", "large", "service", "eco", "all")
@@ -124,6 +136,16 @@ LARGE_RSS_LIMITS = {50000: 600.0, 200000: 1600.0}
 #: the blocked scenario rows (the repair gate demands >= 90% elimination).
 GATE_REPAIR_MAX_SURVIVING = 0.1
 
+#: Driver cap limit (fF) of the buffered blocked rows.  Low enough that every
+#: bench size (including the smoke sizes) carries over-cap drivers, so the
+#: buffered gate can demand at least one insertion everywhere.
+BENCH_MAX_CAP = 8000.0
+
+#: Wirelength the h-tree trunk hybrid may spend relative to ast-dme on the
+#: same blocked instance (measured ~1.13-1.17x; the trunk symmetry and the
+#: junction alignment snaking both cost wire).
+GATE_HTREE_MAX_WIRELENGTH_RATIO = 1.5
+
 #: Sink counts of the ECO suite (the speed-up gate runs at the last).
 ECO_SIZES = (2000, 8000)
 
@@ -149,7 +171,8 @@ ROW_KEYS = frozenset(
         "max_intra_group_skew_ps", "num_nodes", "passes",
         "neighbor_full_rebuilds", "neighbor_incremental_passes",
         "obstacle_detour", "repaired", "skew_violations_pre",
-        "skew_violations_post", "repaired_wirelength", "ok", "error",
+        "skew_violations_post", "repaired_wirelength", "buffers_inserted",
+        "validation_issues", "ok", "error",
     }
 )
 
@@ -215,6 +238,21 @@ ECO_GATE_KEYS = frozenset(
     {
         "kind", "name", "row_label", "speedup", "threshold",
         "preserved_identical", "validation_ok", "passed",
+    }
+)
+
+BUFFERED_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "plain_label", "bufferfree_label", "buffered_label",
+        "identical_results", "buffers_inserted", "min_buffers",
+        "validation_issues", "passed",
+    }
+)
+
+HTREE_GATE_KEYS = frozenset(
+    {
+        "kind", "name", "htree_label", "baseline_label", "wirelength_ratio",
+        "max_ratio", "validation_issues", "passed",
     }
 )
 
@@ -321,6 +359,73 @@ def scaling_configs(
                     ).to_dict(),
                 }
             )
+        # Buffered-CTS rows (schema v7).  The blocked instance again, but with
+        # the cap-limited buffered pipeline: insertion decouples over-loaded
+        # drivers, the repair then restores the bounds around the inserted
+        # stage delays.  Validated end to end -- the buffered gate demands a
+        # clean tree with at least one insertion at every size.
+        label = "ast-dme-buffered-blocked-n%d" % n
+        configs.append(
+            {
+                "label": label,
+                "order": "multi",
+                "family": "blocked",
+                "neighbor_strategy": "incremental",
+                "tree_backend": "arena",
+                "spec": RunSpec(
+                    instance=InstanceSpec.from_family("blocked", n, seed=seed, groups=8),
+                    router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+                    label=label,
+                    validate=True,
+                    opt=OptConfig(
+                        enabled=True, passes=BUFFERED_PASSES, max_cap=BENCH_MAX_CAP
+                    ),
+                ).to_dict(),
+            }
+        )
+        # Buffer-free identity row: the headline uniform instance with the
+        # insertion pass in the pipeline but no cap limit, so the pass must
+        # no-op and the run must stay bit-identical to ``ast-dme-n{n}`` --
+        # the buffered gate's identity half.
+        label = "ast-dme-bufferfree-n%d" % n
+        configs.append(
+            {
+                "label": label,
+                "order": "multi",
+                "family": "uniform",
+                "neighbor_strategy": "incremental",
+                "tree_backend": "arena",
+                "spec": RunSpec(
+                    instance=InstanceSpec.from_random(n, seed=seed, groups=8),
+                    router=RouterSpec("ast-dme", {"skew_bound_ps": 10.0}),
+                    label=label,
+                    opt=OptConfig(enabled=True, passes=("buffer-insert",)),
+                ).to_dict(),
+            }
+        )
+        # H-tree comparison row: the trunk hybrid on the same blocked
+        # instance as ``ast-dme-blocked-n{n}``, repair enabled (the leaf
+        # subtrees inherit the embedding's detour shifts) and validated; the
+        # htree gate prices its wirelength against the ast-dme row.
+        label = "h-tree-blocked-n%d" % n
+        configs.append(
+            {
+                "label": label,
+                "order": "multi",
+                "family": "blocked",
+                "neighbor_strategy": "incremental",
+                "tree_backend": "arena",
+                "spec": RunSpec(
+                    instance=InstanceSpec.from_family("blocked", n, seed=seed, groups=8),
+                    router=RouterSpec(
+                        "h-tree", {"skew_bound_ps": 10.0, "trunk_levels": 2}
+                    ),
+                    label=label,
+                    validate=True,
+                    opt=OptConfig(enabled=True),
+                ).to_dict(),
+            }
+        )
     return configs
 
 
@@ -438,6 +543,10 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         "skew_violations_pre": 0,
         "skew_violations_post": 0,
         "repaired_wirelength": 0.0,
+        "buffers_inserted": 0,
+        # ``None`` distinguishes "row did not validate" from "validated
+        # clean" (0) -- only rows with ``spec.validate`` carry a count.
+        "validation_issues": None,
         "ok": False,
         "error": None,
     }
@@ -458,7 +567,10 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         row.update(
             skew_violations_pre=result.opt.skew_violations_before,
             skew_violations_post=result.opt.skew_violations_after,
+            buffers_inserted=sum(p.buffers_inserted for p in result.opt.passes),
         )
+    if spec.validate:
+        row["validation_issues"] = len(result.issues)
     row.update(
         wall_seconds=result.route_seconds,
         select_seconds=stats.select_seconds,
@@ -624,6 +736,8 @@ def _gates(
         _backend_gates(rows, sizes, GATE_BACKEND_SPEEDUP if threshold else 0.0)
     )
     gates.extend(_repair_gates(rows, sizes))
+    gates.extend(_buffered_gates(rows, sizes))
+    gates.extend(_htree_gates(rows, sizes))
     return gates
 
 
@@ -754,6 +868,91 @@ def _repair_gates(rows: List[Dict[str, Any]], sizes: Sequence[int]) -> List[Dict
                 "violations_post": post,
                 "max_surviving_fraction": GATE_REPAIR_MAX_SURVIVING,
                 "passed": usable and post <= GATE_REPAIR_MAX_SURVIVING * pre,
+            }
+        )
+    return gates
+
+
+def _buffered_gates(
+    rows: List[Dict[str, Any]], sizes: Sequence[int]
+) -> List[Dict[str, Any]]:
+    """One buffered-delay gate per size, in two halves.
+
+    *Identity half*: the buffer-free pipeline row (insertion pass present but
+    no cap limit) must stay bit-identical to the headline ast-dme row and
+    insert nothing -- buffered-Elmore bookkeeping must be invisible until a
+    cap limit asks for buffers.  *Insertion half*: the cap-limited blocked row
+    must insert at least one buffer and validate clean.
+    """
+    by_label = {row["label"]: row for row in rows}
+    gates: List[Dict[str, Any]] = []
+    for n in sizes:
+        plain = by_label.get("ast-dme-n%d" % n)
+        free = by_label.get("ast-dme-bufferfree-n%d" % n)
+        buffered = by_label.get("ast-dme-buffered-blocked-n%d" % n)
+        if not plain or not free or not buffered:
+            continue
+        usable = plain["ok"] and free["ok"] and buffered["ok"]
+        identical = (
+            usable
+            and all(plain[key] == free[key] for key in _IDENTITY_KEYS)
+            and free["buffers_inserted"] == 0
+        )
+        issues = buffered["validation_issues"]
+        gates.append(
+            {
+                "kind": "buffered",
+                "name": "buffered-n%d" % n,
+                "plain_label": plain["label"],
+                "bufferfree_label": free["label"],
+                "buffered_label": buffered["label"],
+                "identical_results": identical,
+                "buffers_inserted": buffered["buffers_inserted"],
+                "min_buffers": 1,
+                "validation_issues": issues,
+                "passed": usable
+                and identical
+                and buffered["buffers_inserted"] >= 1
+                and issues == 0,
+            }
+        )
+    return gates
+
+
+def _htree_gates(rows: List[Dict[str, Any]], sizes: Sequence[int]) -> List[Dict[str, Any]]:
+    """One h-tree gate per size: the trunk hybrid must produce a clean
+    validated tree on the blocked instance and spend at most
+    ``GATE_HTREE_MAX_WIRELENGTH_RATIO`` times the ast-dme wirelength."""
+    by_label = {row["label"]: row for row in rows}
+    gates: List[Dict[str, Any]] = []
+    for n in sizes:
+        baseline = by_label.get("ast-dme-blocked-n%d" % n)
+        htree = by_label.get("h-tree-blocked-n%d" % n)
+        if not baseline or not htree:
+            continue
+        usable = baseline["ok"] and htree["ok"]
+
+        def final_wirelength(row: Dict[str, Any]) -> float:
+            return row["repaired_wirelength"] if row["repaired"] else row["wirelength"]
+
+        ratio = (
+            final_wirelength(htree) / final_wirelength(baseline)
+            if usable and final_wirelength(baseline) > 0.0
+            else 0.0
+        )
+        issues = htree["validation_issues"]
+        gates.append(
+            {
+                "kind": "htree",
+                "name": "htree-blocked-n%d" % n,
+                "htree_label": htree["label"],
+                "baseline_label": baseline["label"],
+                "wirelength_ratio": ratio,
+                "max_ratio": GATE_HTREE_MAX_WIRELENGTH_RATIO,
+                "validation_issues": issues,
+                "passed": usable
+                and issues == 0
+                and 0.0 < ratio <= GATE_HTREE_MAX_WIRELENGTH_RATIO,
             }
         )
     return gates
@@ -979,6 +1178,10 @@ def validate_bench_payload(payload: Any) -> None:
             expected = SERVICE_GATE_KEYS
         elif kind == "eco":
             expected = ECO_GATE_KEYS
+        elif kind == "buffered":
+            expected = BUFFERED_GATE_KEYS
+        elif kind == "htree":
+            expected = HTREE_GATE_KEYS
         else:
             raise ValueError(
                 "bench gate %r has unknown kind %r" % (gate.get("name"), kind)
@@ -1129,6 +1332,31 @@ def format_rows(payload: Dict[str, Any], profile: bool = False) -> str:
                     gate["threshold"],
                     gate["preserved_identical"],
                     gate["validation_ok"],
+                    "PASS" if gate["passed"] else "FAIL",
+                )
+            )
+            continue
+        if gate["kind"] == "buffered":
+            lines.append(
+                "gate %-31s buffers %d (>= %d)  identical=%s  issues=%s  %s"
+                % (
+                    gate["name"],
+                    gate["buffers_inserted"],
+                    gate["min_buffers"],
+                    gate["identical_results"],
+                    gate["validation_issues"],
+                    "PASS" if gate["passed"] else "FAIL",
+                )
+            )
+            continue
+        if gate["kind"] == "htree":
+            lines.append(
+                "gate %-31s wirelength x%.3f (<= x%.2f)  issues=%s  %s"
+                % (
+                    gate["name"],
+                    gate["wirelength_ratio"],
+                    gate["max_ratio"],
+                    gate["validation_issues"],
                     "PASS" if gate["passed"] else "FAIL",
                 )
             )

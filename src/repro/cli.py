@@ -128,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="intra-group skew bound (default: 10.0; only passed to the router "
         "when given, so routers without that option still work)",
     )
+    route.add_argument(
+        "--trunk-levels",
+        type=int,
+        default=None,
+        help="H-tree trunk recursion depth (only meaningful with "
+        "--algorithm h-tree; default: 2)",
+    )
     route.add_argument("--validate", action="store_true", help="run full validation")
     route.add_argument(
         "--repair",
@@ -135,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the post-construction optimizer (skew repair via wire "
         "snaking, detour-aware re-embedding, wirelength recovery) on the "
         "routed tree",
+    )
+    route.add_argument(
+        "--max-cap",
+        type=float,
+        default=None,
+        help="capacitance limit (fF) any single driver may see; enables the "
+        "buffer-insertion optimizer pass (implies --repair)",
+    )
+    route.add_argument(
+        "--buffer-library",
+        default=None,
+        metavar="PATH",
+        help="JSON buffer library for --max-cap (default: the built-in "
+        "three-cell library)",
     )
     route.add_argument(
         "--tolerance",
@@ -178,6 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PASS",
         help="optimization passes to run, in order (default: reembed "
         "skew-repair wirelength-recovery)",
+    )
+    optimize.add_argument(
+        "--max-cap",
+        type=float,
+        default=None,
+        help="capacitance limit (fF) any single driver may see; adds the "
+        "buffer-insertion pass in front of the pipeline unless --passes "
+        "names one explicitly",
+    )
+    optimize.add_argument(
+        "--buffer-library",
+        default=None,
+        metavar="PATH",
+        help="JSON buffer library for --max-cap (default: the built-in "
+        "three-cell library)",
     )
     optimize.add_argument(
         "--tolerance",
@@ -426,11 +462,23 @@ def _cmd_route(args: argparse.Namespace) -> int:
     # anyway.  Validation uses RunSpec.effective_bound_ps(), which falls back
     # to the same 10 ps default.
     options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
+    if args.trunk_levels is not None:
+        options["trunk_levels"] = args.trunk_levels
+    opt = OptConfig(enabled=True) if args.repair else None
+    if args.max_cap is not None:
+        from repro.opt.config import BUFFERED_PASSES
+
+        opt = OptConfig(
+            enabled=True,
+            passes=BUFFERED_PASSES,
+            max_cap=args.max_cap,
+            buffer_library=args.buffer_library,
+        )
     spec = RunSpec(
         instance=_instance_spec_from_args(args),
         router=RouterSpec(args.algorithm, options),
         validate=args.validate,
-        opt=OptConfig(enabled=True) if args.repair else None,
+        opt=opt,
         locus_tolerance=args.tolerance,
     )
     return _run_and_print(spec, args.json)
@@ -448,6 +496,9 @@ def _print_opt_report(report) -> None:
           % (report.wirelength_before, report.wirelength_after,
              100.0 * report.wire_added / report.wirelength_before
              if report.wirelength_before else 0.0))
+    buffers = sum(outcome.buffers_inserted for outcome in report.passes)
+    if buffers:
+        print("  buffers      : %d inserted" % buffers)
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
@@ -467,6 +518,13 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                 % (", ".join(unknown), ", ".join(available_passes()))
             )
         opt_kwargs["passes"] = tuple(args.passes)
+    if args.max_cap is not None:
+        opt_kwargs["max_cap"] = args.max_cap
+        opt_kwargs["buffer_library"] = args.buffer_library
+        if args.passes is None:
+            from repro.opt.config import BUFFERED_PASSES
+
+            opt_kwargs["passes"] = BUFFERED_PASSES
     spec = RunSpec(
         instance=_instance_spec_from_args(args),
         router=RouterSpec(args.algorithm, options),

@@ -247,7 +247,9 @@ def plan_merges(
         t = target[rows] if towards_a else -target[rows]
         a_coef = r * c / 2.0
         b_coef = r * snake_cap[rows]
-        length = (-b_coef + np.sqrt(b_coef * b_coef + 4.0 * a_coef * t)) / (2.0 * a_coef)
+        # Citardauq root, float-op-identical to the scalar wire_length_for_delay
+        # (the backend identity gates compare the two paths bit for bit).
+        length = (2.0 * t) / (b_coef + np.sqrt(b_coef * b_coef + 4.0 * a_coef * t))
         if towards_a:
             ea[rows] = np.maximum(length, dist[rows])
             eb[rows] = 0.0

@@ -77,6 +77,14 @@ class TreeArena:
     child_offsets: np.ndarray
     child_ids: np.ndarray
     technology: object = None
+    #: Buffered-node annotations (see repro.delay.buffer): ``buffers`` keeps
+    #: the cells themselves for lossless round-trips, the parallel arrays feed
+    #: the vectorized Elmore kernels.  All-False mask on buffer-free trees.
+    buffers: List[Optional[object]] = field(default_factory=list)
+    buffer_mask: Optional[np.ndarray] = None
+    buffer_input_caps: Optional[np.ndarray] = None
+    buffer_intrinsics: Optional[np.ndarray] = None
+    buffer_drive_res: Optional[np.ndarray] = None
 
     _depth_levels: Optional[List[np.ndarray]] = field(default=None, repr=False)
     _height_levels: Optional[List[np.ndarray]] = field(default=None, repr=False)
@@ -86,6 +94,10 @@ class TreeArena:
     @property
     def num_nodes(self) -> int:
         return len(self.kinds)
+
+    def has_buffers(self) -> bool:
+        """Whether any node of this snapshot carries a buffer cell."""
+        return self.buffer_mask is not None and bool(self.buffer_mask.any())
 
     def child_counts(self) -> np.ndarray:
         return self.child_offsets[1:] - self.child_offsets[:-1]
@@ -182,6 +194,11 @@ class TreeArena:
         groups = np.zeros(n, dtype=np.int64)
         has_group = np.zeros(n, dtype=bool)
         names: List[Optional[str]] = [None] * n
+        buffers: List[Optional[object]] = [None] * n
+        buffer_mask = np.zeros(n, dtype=bool)
+        buffer_input_caps = np.zeros(n, dtype=np.float64)
+        buffer_intrinsics = np.zeros(n, dtype=np.float64)
+        buffer_drive_res = np.zeros(n, dtype=np.float64)
         counts = np.zeros(n + 1, dtype=np.int64)
 
         node_list = list(tree.nodes())
@@ -204,6 +221,12 @@ class TreeArena:
                 groups[i] = node.group
                 has_group[i] = True
             names[i] = node.name
+            if node.buffer is not None:
+                buffers[i] = node.buffer
+                buffer_mask[i] = True
+                buffer_input_caps[i] = node.buffer.input_cap
+                buffer_intrinsics[i] = node.buffer.intrinsic_delay
+                buffer_drive_res[i] = node.buffer.drive_resistance
             counts[i + 1] = len(node.children)
 
         child_offsets = np.cumsum(counts)
@@ -227,6 +250,11 @@ class TreeArena:
             child_offsets=child_offsets,
             child_ids=child_ids,
             technology=tree.technology,
+            buffers=buffers,
+            buffer_mask=buffer_mask,
+            buffer_input_caps=buffer_input_caps,
+            buffer_intrinsics=buffer_intrinsics,
+            buffer_drive_res=buffer_drive_res,
         )
 
     def to_clock_tree(self):
@@ -256,6 +284,7 @@ class TreeArena:
                 sink_cap=float(self.sink_caps[i]),
                 group=int(self.groups[i]) if self.has_group[i] else None,
                 name=self.names[i],
+                buffer=self.buffers[i] if self.buffers else None,
             )
         tree._next_id = self.num_nodes
         tree.root_id = None if self.root < 0 else self.root

@@ -11,10 +11,13 @@ structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.geometry.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delay.buffer import BufferCell
 
 __all__ = ["ClockNode", "ClockTree"]
 
@@ -37,6 +40,10 @@ class ClockNode:
     sink_cap: float = 0.0
     group: Optional[int] = None
     name: Optional[str] = None
+    #: Buffer cell driving this node's subtree (None = unbuffered).  A buffered
+    #: node presents only the cell's input cap upstream and adds the cell's
+    #: stage delay in front of everything below it; see repro.delay.buffer.
+    buffer: Optional["BufferCell"] = None
 
     @property
     def is_sink(self) -> bool:
@@ -155,6 +162,11 @@ class ClockTree:
         self.node(node_id).edge_length = edge_length
         self._mutations += 1
 
+    def set_buffer(self, node_id: int, cell: Optional["BufferCell"]) -> None:
+        """Place (or with ``None`` remove) a buffer cell at ``node_id``."""
+        self.node(node_id).buffer = cell
+        self._mutations += 1
+
     def copy_subtree_from(self, other: "ClockTree", root_id: int) -> Dict[int, int]:
         """Graft a copy of ``other``'s subtree rooted at ``root_id`` into this tree.
 
@@ -198,6 +210,7 @@ class ClockTree:
                 node.sink_cap,
                 node.group,
                 node.name,
+                node.buffer,
             )
             if parent is not None:
                 dst[parent].children.append(new_id)
@@ -249,6 +262,14 @@ class ClockTree:
     def groups(self) -> List[int]:
         """Sorted list of distinct sink group ids present in the tree."""
         return sorted({n.group for n in self.sinks() if n.group is not None})
+
+    def buffered_nodes(self) -> List[ClockNode]:
+        """All nodes carrying a buffer cell, in insertion order."""
+        return [n for n in self._nodes.values() if n.buffer is not None]
+
+    def num_buffers(self) -> int:
+        """Number of buffered nodes in the tree."""
+        return sum(1 for n in self._nodes.values() if n.buffer is not None)
 
     def root(self) -> ClockNode:
         """The root node (the clock source once the tree is finished)."""

@@ -16,6 +16,12 @@ decisions; this package provides:
 """
 
 from repro.delay.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.delay.buffer import (
+    BufferCell,
+    BufferLibrary,
+    DEFAULT_BUFFER_LIBRARY,
+    default_library,
+)
 from repro.delay.wire import (
     wire_capacitance,
     wire_delay,
@@ -23,13 +29,18 @@ from repro.delay.wire import (
     wire_length_for_delay,
 )
 from repro.delay.elmore import elmore_delays, sink_delays, subtree_capacitances
-from repro.delay.rc_tree import RcTree
+from repro.delay.rc_tree import RcTree, oracle_delays
 
 __all__ = [
+    "BufferCell",
+    "BufferLibrary",
+    "DEFAULT_BUFFER_LIBRARY",
     "DEFAULT_TECHNOLOGY",
     "RcTree",
     "Technology",
+    "default_library",
     "elmore_delays",
+    "oracle_delays",
     "sink_delays",
     "subtree_capacitances",
     "wire_capacitance",

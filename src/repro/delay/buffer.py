@@ -1,0 +1,188 @@
+"""Buffer cells and buffer libraries for buffered clock-tree synthesis.
+
+The paper's delay layer models wires only; real clock nets insert buffers to
+decouple downstream capacitance and obey drive limits.  A :class:`BufferCell`
+is the classic first-order switch-level model used throughout CTS literature:
+
+* ``input_cap`` (fF): the load the buffer presents to the wire driving it --
+  the upstream network sees *only* this, never the subtree behind the buffer;
+* ``intrinsic_delay`` (fs): the parasitic delay of the cell itself;
+* ``drive_resistance`` (ohm): the output resistance driving the downstream
+  stage, so the buffer's stage delay is
+  ``intrinsic_delay + drive_resistance * C_downstream``.
+
+Units mirror :class:`~repro.delay.technology.Technology`: lengths in
+micrometres, resistance in ohms, capacitance in femtofarads, and delays in
+internal femtosecond units (ohm x fF = fs).
+
+A :class:`BufferLibrary` is an ordered collection of cells with JSON
+load/save, mirroring the ``Technology`` conventions: frozen dataclasses,
+strict unknown-key rejection in ``from_dict`` and a default preset
+(:func:`default_library` / :data:`DEFAULT_BUFFER_LIBRARY`) that every example
+and benchmark uses unless it says otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "BufferCell",
+    "BufferLibrary",
+    "default_library",
+    "DEFAULT_BUFFER_LIBRARY",
+]
+
+
+@dataclass(frozen=True)
+class BufferCell:
+    """One buffer cell of the first-order switch-level model."""
+
+    name: str
+    #: Capacitance the buffer's input pin presents upstream (fF).
+    input_cap: float
+    #: Parasitic delay of the cell itself (internal fs units).
+    intrinsic_delay: float
+    #: Output resistance driving the downstream network (ohm).
+    drive_resistance: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("buffer cell name must be non-empty")
+        if self.input_cap <= 0.0:
+            raise ValueError("input_cap must be positive")
+        if self.intrinsic_delay < 0.0:
+            raise ValueError("intrinsic_delay must be non-negative")
+        if self.drive_resistance <= 0.0:
+            raise ValueError("drive_resistance must be positive")
+
+    def stage_delay(self, downstream_cap: float) -> float:
+        """Delay through the buffer driving ``downstream_cap`` (fF), in fs."""
+        return self.intrinsic_delay + self.drive_resistance * downstream_cap
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "input_cap": self.input_cap,
+            "intrinsic_delay": self.intrinsic_delay,
+            "drive_resistance": self.drive_resistance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BufferCell":
+        known = {"name", "input_cap", "intrinsic_delay", "drive_resistance"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                "unknown buffer cell keys %s; valid keys: %s"
+                % (unknown, ", ".join(sorted(known)))
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class BufferLibrary:
+    """An ordered, named collection of buffer cells."""
+
+    cells: Tuple[BufferCell, ...] = ()
+    name: str = "default"
+    _by_name: Dict[str, BufferCell] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+        if not self.cells:
+            raise ValueError("a buffer library needs at least one cell")
+        by_name: Dict[str, BufferCell] = {}
+        for cell in self.cells:
+            if cell.name in by_name:
+                raise ValueError("duplicate buffer cell name %r" % cell.name)
+            by_name[cell.name] = cell
+        object.__setattr__(self, "_by_name", by_name)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def cell(self, name: str) -> BufferCell:
+        """The cell with the given name (KeyError lists the known names)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                "unknown buffer cell %r; available: %s"
+                % (name, ", ".join(c.name for c in self.cells))
+            ) from None
+
+    def best_cell_for(self, downstream_cap: float) -> BufferCell:
+        """The cell with the smallest stage delay driving ``downstream_cap``.
+
+        Ties break towards the smaller input cap (cheaper upstream), then
+        towards library order, so selection is deterministic.
+        """
+        return min(
+            self.cells,
+            key=lambda cell: (cell.stage_delay(downstream_cap), cell.input_cap),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation, mirroring the Technology conventions
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "cells": [cell.to_dict() for cell in self.cells]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BufferLibrary":
+        known = {"name", "cells"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                "unknown buffer library keys %s; valid keys: %s"
+                % (unknown, ", ".join(sorted(known)))
+            )
+        cells = tuple(BufferCell.from_dict(entry) for entry in data.get("cells", ()))
+        return cls(cells=cells, name=data.get("name", "default"))
+
+    @classmethod
+    def from_cells(cls, cells: Sequence[Mapping[str, Any]], name: str = "inline") -> "BufferLibrary":
+        """A library from a sequence of cell dicts (the JSON inline form)."""
+        return cls(cells=tuple(BufferCell.from_dict(c) for c in cells), name=name)
+
+    def save(self, path) -> None:
+        """Write the library as a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "BufferLibrary":
+        """Read a library written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def default_library() -> BufferLibrary:
+    """A small three-strength library sized for the r-benchmark technology.
+
+    With 0.003 ohm/um wire and sink loads of a few tens of fF, these strengths
+    put the insertion break-even around the cap limits the benchmark rows use;
+    the exact values are conventional, not fitted.
+    """
+    return BufferLibrary(
+        cells=(
+            BufferCell("buf-x1", input_cap=10.0, intrinsic_delay=17_000.0, drive_resistance=180.0),
+            BufferCell("buf-x2", input_cap=20.0, intrinsic_delay=15_000.0, drive_resistance=90.0),
+            BufferCell("buf-x4", input_cap=40.0, intrinsic_delay=14_000.0, drive_resistance=45.0),
+        ),
+        name="default-3cell",
+    )
+
+
+#: The library buffered runs use unless they say otherwise.
+DEFAULT_BUFFER_LIBRARY = default_library()

@@ -19,11 +19,12 @@ analysis and reporting code, built lazily and cached until the next mutation.
 
 from __future__ import annotations
 
+from dataclasses import replace as _replace
 from typing import Dict, List
 
 from repro.delay.technology import DEFAULT_TECHNOLOGY, Technology
 
-__all__ = ["RcTree"]
+__all__ = ["RcTree", "oracle_delays"]
 
 
 class RcTree:
@@ -147,7 +148,17 @@ class RcTree:
         Sink capacitances become grounded caps on the corresponding leaf nodes;
         each edge becomes a discretised distributed line.  Node keys reuse the
         clock-tree node ids so that delays can be compared directly.
+
+        A single RC network cannot model buffer isolation, so buffered trees
+        are rejected; use :func:`oracle_delays`, which composes one network
+        per buffer stage.
         """
+        for node in tree.nodes():
+            if node.buffer is not None:
+                raise ValueError(
+                    "tree contains buffers; a single RC network cannot model "
+                    "buffer isolation -- use repro.delay.rc_tree.oracle_delays"
+                )
         root = tree.root()
         rc = cls(root.node_id, technology=tree.technology)
         rc.add_cap(root.node_id, root.sink_cap)
@@ -177,3 +188,72 @@ class RcTree:
     @property
     def root(self):
         return self._root
+
+
+def oracle_delays(tree, segments_per_edge: int = 4) -> Dict[int, float]:
+    """Independent per-stage RC re-derivation of a clock tree's Elmore delays.
+
+    The buffer-aware replacement for ``RcTree.from_clock_tree(t)
+    .elmore_delays()``: a buffer decouples its subtree, so the tree is split
+    into stages at buffered nodes.  Each stage becomes its own discretised RC
+    network whose driver resistance is the source resistance (top stage) or
+    the stage buffer's drive resistance; a buffered node appears in its parent
+    stage as a leaf carrying only the buffer input cap, and its recorded delay
+    is the arrival at the buffer *input* -- exactly the convention of
+    :mod:`repro.delay.elmore`.  Stage delays compose as ``arrival + intrinsic
+    + network delay``.  On buffer-free trees this is precisely the historical
+    single-network oracle.
+    """
+    tech = tree.technology
+    root = tree.root()
+    result: Dict[int, float] = {}
+    # (stage_root_id, delay at the stage driver's output start, driver ohms)
+    stages: List[tuple] = []
+    if root.buffer is not None:
+        # Degenerate top stage: the source drives only the buffer input pin.
+        result[root.node_id] = tech.source_resistance * root.buffer.input_cap
+        stages.append(
+            (
+                root.node_id,
+                result[root.node_id] + root.buffer.intrinsic_delay,
+                root.buffer.drive_resistance,
+            )
+        )
+    else:
+        stages.append((root.node_id, 0.0, tech.source_resistance))
+    while stages:
+        stage_root, base, drive = stages.pop()
+        stage_tech = _replace(tech, source_resistance=drive)
+        rc = RcTree(stage_root, technology=stage_tech)
+        rc.add_cap(stage_root, tree.node(stage_root).sink_cap)
+        members: List[int] = []
+        boundaries = []
+        queue = [stage_root]
+        while queue:
+            nid = queue.pop()
+            for child in tree.children_of(nid):
+                rc.add_wire(child.node_id, nid, child.edge_length, segments_per_edge)
+                members.append(child.node_id)
+                if child.buffer is not None:
+                    rc.add_cap(child.node_id, child.buffer.input_cap)
+                    boundaries.append(child)
+                else:
+                    rc.add_cap(child.node_id, child.sink_cap)
+                    queue.append(child.node_id)
+        delays = rc.elmore_delays()
+        if stage_root not in result:
+            # Top stage only: deeper stage roots keep the buffer-input arrival
+            # recorded by their parent stage.
+            result[stage_root] = base + delays[stage_root]
+        for nid in members:
+            result[nid] = base + delays[nid]
+        for child in boundaries:
+            if child.children:
+                stages.append(
+                    (
+                        child.node_id,
+                        result[child.node_id] + child.buffer.intrinsic_delay,
+                        child.buffer.drive_resistance,
+                    )
+                )
+    return result

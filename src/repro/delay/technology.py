@@ -10,13 +10,34 @@ femtoseconds and the paper's 10 ps skew bound is 10 000 internal units.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
 
 __all__ = ["Technology", "DEFAULT_TECHNOLOGY"]
 
 #: Femtoseconds per picosecond, the conversion between internal time units and
 #: the picoseconds used in the paper's tables.
 _FS_PER_PS = 1000.0
+
+
+class _HybridMethod:
+    """Bind to the receiver when called on an instance, to a default-constructed
+    instance when called on the class.
+
+    ``Technology.scaled(...)`` historically meant "scale the default
+    parameters"; keeping the class-call form working preserves that, while an
+    instance call (``loaded_tech.scaled(...)``) now scales the *receiver* --
+    previously it silently scaled the default instead.
+    """
+
+    def __init__(self, func):
+        self._func = func
+        functools.update_wrapper(self, func)
+
+    def __get__(self, obj, objtype=None):
+        base = obj if obj is not None else objtype()
+        return functools.partial(self._func, base)
 
 
 @dataclass(frozen=True)
@@ -66,20 +87,44 @@ class Technology:
         """The parameters used by the r1-r5 benchmark suite (and this paper)."""
         return cls()
 
-    @classmethod
-    def scaled(cls, resistance_scale: float, capacitance_scale: float) -> "Technology":
-        """A technology with the default parameters scaled by the given factors.
+    @_HybridMethod
+    def scaled(self, resistance_scale: float, capacitance_scale: float) -> "Technology":
+        """A technology with this instance's parameters scaled by the given factors.
 
         Useful for sensitivity studies; scaling both factors equally scales all
-        delays without changing any routing decision.
+        delays without changing any routing decision.  Called on the class
+        (``Technology.scaled(...)``) it scales the default parameters; called
+        on an instance it scales that instance -- including a non-zero
+        ``source_resistance`` loaded from an instance file.
         """
-        base = cls()
-        return cls(
-            unit_resistance=base.unit_resistance * resistance_scale,
-            unit_capacitance=base.unit_capacitance * capacitance_scale,
-            source_resistance=base.source_resistance,
-            name="%s-scaled-r%.3g-c%.3g" % (base.name, resistance_scale, capacitance_scale),
+        return Technology(
+            unit_resistance=self.unit_resistance * resistance_scale,
+            unit_capacitance=self.unit_capacitance * capacitance_scale,
+            source_resistance=self.source_resistance,
+            name="%s-scaled-r%.3g-c%.3g" % (self.name, resistance_scale, capacitance_scale),
         )
+
+    # ------------------------------------------------------------------
+    # Serialisation (the JSON form used by ``InstanceSpec.technology``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit_resistance": self.unit_resistance,
+            "unit_capacitance": self.unit_capacitance,
+            "source_resistance": self.source_resistance,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Technology":
+        known = {"unit_resistance", "unit_capacitance", "source_resistance", "name"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                "unknown technology keys %s; valid keys: %s"
+                % (unknown, ", ".join(sorted(known)))
+            )
+        return cls(**dict(data))
 
 
 #: The technology every example, test and benchmark uses unless it says otherwise.

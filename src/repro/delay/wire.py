@@ -71,4 +71,9 @@ def wire_length_for_delay(target_delay: float, downstream_cap: float, tech: Tech
     a = r * c / 2.0
     b = r * downstream_cap
     discriminant = b * b + 4.0 * a * target_delay
-    return (-b + math.sqrt(discriminant)) / (2.0 * a)
+    # Citardauq form of the positive root.  The textbook
+    # ``(-b + sqrt(b^2 + 4at)) / (2a)`` cancels catastrophically when
+    # ``b^2`` dominates ``4at`` (large downstream cap against a tiny target,
+    # or extreme r*c scalings); here the two added terms share a sign, so the
+    # result is accurate at every scale.
+    return (2.0 * target_delay) / (b + math.sqrt(discriminant))

@@ -613,8 +613,8 @@ def _frontier_stub_data(
     if not frontier:
         return []
     arena = tree.as_arena()
-    caps = _arena_capacitances(arena)
-    delays = _arena_delays(arena, caps)
+    caps, internal = _arena_capacitances(arena)
+    delays = _arena_delays(arena, caps, internal)
     roots = np.asarray(frontier, dtype=np.int64)
     label = np.full(arena.num_nodes, -1, dtype=np.int64)
     label[roots] = np.arange(len(frontier), dtype=np.int64)

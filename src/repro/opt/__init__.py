@@ -11,7 +11,10 @@ blocked instances).  This subsystem repairs finished trees in place:
   under-delayed edges (wire snaking) and trimming over-booked ones, with
   exact subtree-relative delay accounting;
 * :class:`WirelengthRecoveryPass` -- reclaim booked wire the other passes
-  made redundant.
+  made redundant;
+* :class:`BufferInsertPass` -- decouple drivers that see more than
+  ``OptConfig.max_cap`` behind library buffers, rejecting any insertion that
+  would push a sink group over its skew bound.
 
 Passes implement the :class:`OptPass` protocol and live in a string-keyed
 registry (``register_pass`` / ``available_passes``); the :class:`Optimizer`
@@ -28,7 +31,8 @@ from repro.opt.base import (
     register_pass,
     unregister_pass,
 )
-from repro.opt.config import DEFAULT_PASSES, OptConfig
+from repro.opt.buffering import BufferInsertPass
+from repro.opt.config import BUFFERED_PASSES, DEFAULT_PASSES, OptConfig
 from repro.opt.optimizer import Optimizer, optimize_routing
 from repro.opt.recovery import WirelengthRecoveryPass
 from repro.opt.reembed import ReembedPass
@@ -36,6 +40,8 @@ from repro.opt.report import OptReport, PassOutcome
 from repro.opt.skew_repair import SkewRepairPass
 
 __all__ = [
+    "BUFFERED_PASSES",
+    "BufferInsertPass",
     "DEFAULT_PASSES",
     "OptConfig",
     "OptContext",
@@ -53,6 +59,11 @@ __all__ = [
     "unregister_pass",
 ]
 
+register_pass(
+    "buffer-insert",
+    BufferInsertPass,
+    description="decouple over-loaded drivers with library buffers, skew-safely",
+)
 register_pass(
     "reembed",
     ReembedPass,

@@ -116,6 +116,21 @@ class OptContext:
             (s - self.bound_for(g) for g, s in spreads.items()), default=0.0
         )
 
+    def cap_violations(self, caps: Optional[Dict[int, float]] = None) -> int:
+        """Nodes whose driver-seen capacitance exceeds ``config.max_cap``.
+
+        The seen cap is the decoupled subtree capacitance -- what the wire
+        into the node (or the source) actually drives, with buffered subtrees
+        replaced by the buffer input cap.  Zero when no cap limit is set, so
+        buffer-free optimization keeps its historical quality ordering.
+        """
+        max_cap = self.config.max_cap
+        if max_cap is None:
+            return 0
+        if caps is None:
+            caps = self.subtree_capacitances()
+        return sum(1 for value in caps.values() if value > max_cap + 1e-9)
+
     # ------------------------------------------------------------------
     # Geometry helpers
     # ------------------------------------------------------------------

@@ -12,12 +12,16 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["OptConfig", "DEFAULT_PASSES"]
+__all__ = ["OptConfig", "DEFAULT_PASSES", "BUFFERED_PASSES"]
 
 #: The default pass pipeline, in execution order: re-embed merge points away
 #: from blockage detours, re-balance delays by snaking under-delayed edges,
 #: then reclaim wire the earlier passes made redundant.
 DEFAULT_PASSES: Tuple[str, ...] = ("reembed", "skew-repair", "wirelength-recovery")
+
+#: The buffered pipeline: cap-limit-driven buffer insertion first, so the
+#: wire-level passes repair and polish the buffered topology.
+BUFFERED_PASSES: Tuple[str, ...] = ("buffer-insert",) + DEFAULT_PASSES
 
 
 @dataclass(frozen=True)
@@ -56,9 +60,32 @@ class OptConfig:
     #: Cross-check the optimized tree's Elmore delays against the independent
     #: RcTree oracle and record the agreement in the report.
     verify_oracle: bool = True
+    #: Capacitance limit (femtofarads) a single driver -- the source or a
+    #: buffer -- may see before the buffer-insertion pass decouples the load.
+    #: ``None`` disables insertion entirely, keeping buffer-free runs
+    #: bit-identical to historical output.
+    max_cap: Optional[float] = None
+    #: Buffer library the insertion pass draws from: ``None`` (the built-in
+    #: default library), a JSON path (``BufferLibrary.save`` format) or an
+    #: inline sequence of cells / cell dicts (normalised to ``BufferCell``
+    #: tuples so the config stays hashable and JSON-round-trippable).
+    buffer_library: Optional[Any] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "passes", tuple(self.passes))
+        if self.max_cap is not None and not self.max_cap > 0.0:
+            raise ValueError("max_cap must be positive")
+        library = self.buffer_library
+        if library is not None and not isinstance(library, str):
+            from repro.delay.buffer import BufferCell
+
+            cells = tuple(
+                cell if isinstance(cell, BufferCell) else BufferCell.from_dict(cell)
+                for cell in library
+            )
+            if not cells:
+                raise ValueError("an inline buffer_library needs at least one cell")
+            object.__setattr__(self, "buffer_library", cells)
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
         if not 0.0 < self.safety <= 1.0:
@@ -79,6 +106,8 @@ class OptConfig:
                 continue
             value = getattr(self, f.name)
             if value != getattr(defaults, f.name):
+                if f.name == "buffer_library" and isinstance(value, tuple):
+                    value = [cell.to_dict() for cell in value]
                 data[f.name] = value
         return data
 

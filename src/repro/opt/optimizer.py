@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional, Sequence, Union
 
-from repro.delay.rc_tree import RcTree
+from repro.delay.rc_tree import oracle_delays
 from repro.delay.technology import Technology
 from repro.geometry.obstacles import ObstacleSet
 from repro.geometry.trr import Trr
@@ -145,26 +145,33 @@ class Optimizer:
 
 
 def _snapshot(tree) -> Dict[int, tuple]:
-    """Edge lengths and locations, enough to undo any pass."""
+    """Edge lengths, locations and buffers, enough to undo any pass."""
     return {
-        node.node_id: (node.edge_length, node.location) for node in tree.nodes()
+        node.node_id: (node.edge_length, node.location, node.buffer)
+        for node in tree.nodes()
     }
 
 
 def _restore(tree, snapshot: Dict[int, tuple]) -> None:
-    for node_id, (edge_length, location) in snapshot.items():
+    for node_id, (edge_length, location, buffer) in snapshot.items():
         node = tree.node(node_id)
         node.edge_length = edge_length
         node.location = location
+        node.buffer = buffer
     tree.mark_mutated()
 
 
 def _quality(ctx: OptContext) -> tuple:
     """Lexicographic tree quality:
-    (violations, positive excess, required floor, wirelength).
+    (violations, cap violations, positive excess, required floor, wirelength).
 
-    The *required floor* (sum of per-edge minimum legal lengths) ranks before
-    the wirelength so that a re-embedding move -- which changes no delay and
+    Skew violations rank above cap violations, so buffer insertion is only
+    ever accepted when it does not push a group over its bound -- insertion
+    may never degrade skew.  Cap violations rank above the skew excess so
+    that decoupling an over-loaded driver counts as progress even when the
+    common-mode delay shift nudges in-bound spreads around.  The *required
+    floor* (sum of per-edge minimum legal lengths) ranks before the
+    wirelength so that a re-embedding move -- which changes no delay and
     may even cost a little wire covering a grown detour elsewhere -- counts
     as the progress it is: a lower floor is exactly the slack the repair and
     recovery passes harvest next.
@@ -172,6 +179,7 @@ def _quality(ctx: OptContext) -> tuple:
     delays = ctx.sink_delays()
     return (
         ctx.skew_violations(delays),
+        ctx.cap_violations(),
         max(0.0, ctx.worst_excess(delays)),
         ctx.required_total(),
         ctx.tree.total_wirelength(),
@@ -181,23 +189,26 @@ def _quality(ctx: OptContext) -> tuple:
 def _acceptable(before: tuple, after: tuple) -> bool:
     """Whether a pass's effect counts as progress.
 
-    Fewer violating groups always wins; then a smaller skew excess; then a
-    lower geometric floor (re-embedding's contribution); at an otherwise
-    equal state the pass must have reclaimed wire.
+    Fewer violating groups always wins; then fewer over-loaded drivers; then
+    a smaller skew excess; then a lower geometric floor (re-embedding's
+    contribution); at an otherwise equal state the pass must have reclaimed
+    wire.
     """
     if after[0] != before[0]:
         return after[0] < before[0]
-    if abs(after[1] - before[1]) > 1e-6:
+    if after[1] != before[1]:
         return after[1] < before[1]
     if abs(after[2] - before[2]) > 1e-6:
         return after[2] < before[2]
-    return after[3] < before[3] - 1e-6
+    if abs(after[3] - before[3]) > 1e-6:
+        return after[3] < before[3]
+    return after[4] < before[4] - 1e-6
 
 
 def _oracle_max_diff(ctx: OptContext) -> float:
-    """Largest fast-vs-RcTree sink-delay disagreement on the optimized tree."""
+    """Largest fast-vs-RC-oracle sink-delay disagreement on the optimized tree."""
     fast = ctx.sink_delays()
-    oracle = RcTree.from_clock_tree(ctx.tree).elmore_delays()
+    oracle = oracle_delays(ctx.tree)
     return max(
         (abs(fast[nid] - oracle[nid]) for nid in fast), default=0.0
     )

@@ -23,12 +23,18 @@ class PassOutcome:
     wire_added: float = 0.0
     wire_trimmed: float = 0.0
     seconds: float = 0.0
+    #: Buffers the pass inserted (the buffer-insertion pass only).
+    buffers_inserted: int = 0
     #: True when the optimizer rejected and undid this pass's changes.
     reverted: bool = False
 
     @property
     def changed(self) -> bool:
-        return (self.edges_modified > 0 or self.nodes_moved > 0) and not self.reverted
+        return (
+            self.edges_modified > 0
+            or self.nodes_moved > 0
+            or self.buffers_inserted > 0
+        ) and not self.reverted
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -39,6 +45,7 @@ class PassOutcome:
             "wire_added": self.wire_added,
             "wire_trimmed": self.wire_trimmed,
             "seconds": self.seconds,
+            "buffers_inserted": self.buffers_inserted,
             "reverted": self.reverted,
         }
 

@@ -129,6 +129,18 @@ class SkewRepairPass:
                         merged[g][1] = max(merged[g][1], hi)
                     else:
                         merged[g] = [lo, hi]
+            if node.buffer is not None:
+                # Same decoupling as the Elmore engines: upstream sees only
+                # the buffer input pin, and every sink below arrives one
+                # stage delay later than the buffer input does.
+                stage = (
+                    node.buffer.intrinsic_delay
+                    + node.buffer.drive_resistance * total_cap
+                )
+                for interval in merged.values():
+                    interval[0] += stage
+                    interval[1] += stage
+                total_cap = node.buffer.input_cap
             caps[nid] = total_cap
             ivals[nid] = merged
         return changed

@@ -502,6 +502,36 @@ class TestCacheKey:
         )
         assert tweaked.cache_key() != base.cache_key()
 
+    def test_instance_technology_changes_the_key(self):
+        tech = {
+            "unit_resistance": 0.006,
+            "unit_capacitance": 0.04,
+            "source_resistance": 100.0,
+        }
+        tweaked = self._spec(
+            instance=InstanceSpec.from_random(50, seed=2, groups=4, technology=tech)
+        )
+        assert tweaked.cache_key() != self._spec().cache_key()
+        # The spec round-trips with its technology, key intact.
+        restored = RunSpec.from_dict(json.loads(json.dumps(tweaked.to_dict())))
+        assert restored.cache_key() == tweaked.cache_key()
+
+    def test_technology_free_spec_omits_the_field(self):
+        # Pre-v7 serialised specs carry no technology key; the field must not
+        # appear (and so not shift cache keys) unless explicitly set.
+        assert "technology" not in self._spec().instance.to_dict()
+
+    def test_spec_technology_is_applied_to_the_built_instance(self):
+        tech = {
+            "unit_resistance": 0.006,
+            "unit_capacitance": 0.04,
+            "source_resistance": 100.0,
+        }
+        spec = InstanceSpec.from_family("blocked", 40, seed=1, groups=2, technology=tech)
+        instance = spec.build()
+        assert instance.technology.unit_resistance == 0.006
+        assert instance.technology.source_resistance == 100.0
+
 
 # ----------------------------------------------------------------------
 # Config copying regressions (the ast_config / shim bug class)

@@ -28,21 +28,25 @@ class TestSuiteDefinition:
         configs = scaling_configs(sizes=(500, 2000), seed=1)
         labels = {config["label"] for config in configs}
         # 3 headline routers + 1 object-backend identity row + 3 single-merge
-        # strategies + 3 blocked-scenario rows, per size.
-        assert len(configs) == 20
+        # strategies + 3 blocked-scenario rows + 3 buffered/h-tree rows (v7),
+        # per size.
+        assert len(configs) == 26
         assert "ast-dme-n500" in labels
         assert "ast-dme-object-n2000" in labels
         assert "greedy-dme-single-scalar-n2000" in labels
         assert "greedy-dme-single-incremental-n2000" in labels
         assert "ast-dme-blocked-n500" in labels
         assert "ext-bst-blocked-n2000" in labels
+        assert "ast-dme-buffered-blocked-n500" in labels
+        assert "ast-dme-bufferfree-n2000" in labels
+        assert "h-tree-blocked-n500" in labels
         # Specs are declarative and JSON-serialisable end to end.
         json.dumps(configs)
 
     def test_blocked_configs_use_the_blocked_family(self):
         configs = scaling_configs(sizes=(500,), seed=1)
         blocked = [c for c in configs if c["family"] == "blocked"]
-        assert len(blocked) == 3
+        assert len(blocked) == 5  # 3 routers + buffered ast-dme + h-tree
         assert all(c["tree_backend"] == "arena" for c in blocked)
         for config in blocked:
             assert config["spec"]["instance"]["kind"] == "family"
@@ -62,13 +66,15 @@ class TestRunSuite:
         assert smoke_payload["sizes"] == [60]
         assert smoke_payload["large_sizes"] == []
         assert smoke_payload["service_sizes"] == []
-        assert len(smoke_payload["rows"]) == 10
+        assert len(smoke_payload["rows"]) == 13
         assert all(row["kind"] == "routing" for row in smoke_payload["rows"])
         json.dumps(smoke_payload)  # JSON-serialisable end to end
 
     def test_obstacle_scenario_rows_present_and_ok(self, smoke_payload):
         blocked = [row for row in smoke_payload["rows"] if row["family"] == "blocked"]
-        assert {row["router"] for row in blocked} == {"ast-dme", "greedy-dme", "ext-bst"}
+        assert {row["router"] for row in blocked} == {
+            "ast-dme", "greedy-dme", "ext-bst", "h-tree",
+        }
         for row in blocked:
             assert row["ok"], row["error"]
             assert row["wirelength"] > 0.0
@@ -106,8 +112,12 @@ class TestRunSuite:
                 assert row["repaired"] is True
                 assert row["repaired_wirelength"] > 0.0
                 assert row["skew_violations_post"] <= row["skew_violations_pre"]
+            elif row["repaired"]:
+                # The v7 buffer-free identity row runs the pipeline on the
+                # uniform instance but must leave the tree untouched.
+                assert "bufferfree" in row["label"]
+                assert row["repaired_wirelength"] == row["wirelength"]
             else:
-                assert row["repaired"] is False
                 assert row["repaired_wirelength"] == row["wirelength"]
 
     def test_single_merge_strategies_agree_exactly(self, smoke_payload):
@@ -368,6 +378,62 @@ class TestLargeSuite:
     def test_cli_accepts_large_suite_and_profile(self):
         args = build_parser().parse_args(["bench", "--suite", "large", "--profile"])
         assert args.suite == "large"
+
+
+class TestV7BufferedSchema:
+    """The v7 additions: buffered rows, h-tree rows, buffered/htree gates."""
+
+    def test_buffered_gate_asserts_identity_and_insertion(self, smoke_payload):
+        gates = [g for g in smoke_payload["gates"] if g["kind"] == "buffered"]
+        assert len(gates) == len(smoke_payload["sizes"])
+        for gate in gates:
+            assert gate["identical_results"] is True
+            assert gate["buffers_inserted"] >= gate["min_buffers"] >= 1
+            assert gate["validation_issues"] == 0
+            assert gate["passed"], gate
+
+    def test_htree_gate_prices_wirelength(self, smoke_payload):
+        gates = [g for g in smoke_payload["gates"] if g["kind"] == "htree"]
+        assert len(gates) == len(smoke_payload["sizes"])
+        for gate in gates:
+            assert 0.0 < gate["wirelength_ratio"] <= gate["max_ratio"]
+            assert gate["validation_issues"] == 0
+            assert gate["passed"], gate
+
+    def test_bufferfree_row_is_bit_identical(self, smoke_payload):
+        by_label = {row["label"]: row for row in smoke_payload["rows"]}
+        plain = by_label["ast-dme-n60"]
+        free = by_label["ast-dme-bufferfree-n60"]
+        for key in (
+            "wirelength", "global_skew_ps", "max_intra_group_skew_ps", "num_nodes",
+        ):
+            assert free[key] == plain[key], key
+        assert free["buffers_inserted"] == 0
+        # Rows without ``validate`` carry None, not a count.
+        assert free["validation_issues"] is None
+
+    def test_buffered_row_inserts_and_validates(self, smoke_payload):
+        by_label = {row["label"]: row for row in smoke_payload["rows"]}
+        row = by_label["ast-dme-buffered-blocked-n60"]
+        assert row["ok"], row["error"]
+        assert row["buffers_inserted"] >= 1
+        assert row["validation_issues"] == 0
+
+    def test_validate_rejects_buffered_gate_missing_keys(self, smoke_payload):
+        bad = dict(smoke_payload, gates=[{"kind": "buffered", "name": "b"}])
+        with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+    def test_validate_rejects_htree_gate_missing_keys(self, smoke_payload):
+        bad = dict(smoke_payload, gates=[{"kind": "htree", "name": "h"}])
+        with pytest.raises(ValueError, match="misses keys"):
+            validate_bench_payload(bad)
+
+    def test_format_rows_prints_buffered_and_htree_gates(self, smoke_payload):
+        text = format_rows(smoke_payload)
+        assert "buffered-n60" in text
+        assert "htree-blocked-n60" in text
+        assert "wirelength x" in text
 
 
 class TestV6EcoSuite:

@@ -111,8 +111,49 @@ class TestCommands:
     def test_routers_lists_registry(self, capsys):
         assert main(["routers"]) == 0
         out = capsys.readouterr().out
-        for name in ("ast-dme", "ext-bst", "greedy-dme"):
+        for name in ("ast-dme", "ext-bst", "greedy-dme", "h-tree"):
             assert name in out
+
+    def test_route_h_tree_with_trunk_levels(self, tmp_path, capsys):
+        path = tmp_path / "r1.inst"
+        main(["generate", "r1", str(path), "--groups", "4"])
+        capsys.readouterr()
+        assert main(
+            ["route", str(path), "--algorithm", "h-tree",
+             "--trunk-levels", "3", "--validate", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["issues"] == []
+        assert data["spec"]["router"]["options"]["trunk_levels"] == 3
+
+    def test_route_max_cap_enables_buffered_repair(self, tmp_path, capsys):
+        path = tmp_path / "blocked.inst"
+        main(["generate", str(path), "--family", "blocked",
+              "--sinks", "120", "--seed", "1", "--groups", "8"])
+        capsys.readouterr()
+        assert main(
+            ["route", str(path), "--max-cap", "8000", "--validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repair" in out
+        assert "buffers" in out and "inserted" in out
+        assert "validation     : ok" in out
+
+    def test_route_buffer_library_file(self, tmp_path, capsys):
+        from repro.delay.buffer import default_library
+
+        lib_path = tmp_path / "lib.json"
+        default_library().save(lib_path)
+        path = tmp_path / "blocked.inst"
+        main(["generate", str(path), "--family", "blocked",
+              "--sinks", "120", "--seed", "1", "--groups", "8"])
+        capsys.readouterr()
+        assert main(
+            ["route", str(path), "--max-cap", "8000",
+             "--buffer-library", str(lib_path), "--validate"]
+        ) == 0
+        assert "validation     : ok" in capsys.readouterr().out
 
 
 class TestBatchCommand:

@@ -13,6 +13,7 @@ from repro.api.spec import InstanceSpec, RunSpec
 from repro.core.ast_dme import AstDme, AstDmeConfig
 from repro.delay.technology import Technology
 from repro.opt import (
+    BUFFERED_PASSES,
     OptConfig,
     OptReport,
     Optimizer,
@@ -117,7 +118,7 @@ class TestReports:
 class TestPassRegistry:
     def test_builtins_registered(self):
         assert available_passes() == [
-            "reembed", "skew-repair", "wirelength-recovery",
+            "buffer-insert", "reembed", "skew-repair", "wirelength-recovery",
         ]
 
     def test_get_pass_constructs(self):
@@ -283,6 +284,93 @@ class TestOptimizer:
             OptConfig(enabled=True, passes=("skew-repair",), verify_oracle=False)
         ).optimize(blocked_routing.tree, bound_for=lambda g: bound)
         assert {outcome.name for outcome in report.passes} == {"skew-repair"}
+
+
+# ----------------------------------------------------------------------
+# Buffer insertion
+# ----------------------------------------------------------------------
+class TestBufferInsert:
+    def test_noop_without_a_cap_limit(self, blocked_routing):
+        bound = Technology.ps_to_internal(10.0)
+        report = Optimizer(
+            OptConfig(enabled=True, passes=("buffer-insert",), verify_oracle=False)
+        ).optimize(blocked_routing.tree, bound_for=lambda g: bound)
+        outcome = report.passes[0]
+        assert outcome.buffers_inserted == 0
+        assert not outcome.changed
+
+    def test_inserts_buffers_and_clears_cap_violations(self):
+        spec = _blocked_spec(
+            num_sinks=500,
+            validate=True,
+            opt=OptConfig(enabled=True, passes=BUFFERED_PASSES, max_cap=8000.0),
+        )
+        result = run(spec, keep_tree=True)
+        inserted = sum(p.buffers_inserted for p in result.opt.passes)
+        assert inserted >= 1
+        assert result.routing.tree.num_buffers() == inserted
+        assert result.issues == []
+        from repro.delay.elmore import subtree_capacitances
+
+        def over_cap(tree):
+            caps = subtree_capacitances(tree)
+            return sum(1 for value in caps.values() if value > 8000.0)
+
+        plain = run(_blocked_spec(num_sinks=500), keep_tree=True)
+        # Insertion may skip sites where decoupling would hurt skew, so the
+        # limit is not a hard guarantee -- but coverage must strictly improve.
+        assert over_cap(result.routing.tree) < over_cap(plain.routing.tree)
+
+    def test_insertion_never_degrades_skew(self):
+        spec = _blocked_spec(
+            opt=OptConfig(enabled=True, passes=BUFFERED_PASSES, max_cap=8000.0),
+        )
+        report = run(spec).opt
+        assert report.skew_violations_after <= report.skew_violations_before
+
+    def test_inline_single_cell_library(self):
+        cell = {
+            "name": "mono",
+            "input_cap": 25.0,
+            "intrinsic_delay": 16000.0,
+            "drive_resistance": 70.0,
+        }
+        spec = _blocked_spec(
+            validate=True,
+            opt=OptConfig(
+                enabled=True,
+                passes=BUFFERED_PASSES,
+                max_cap=8000.0,
+                buffer_library=[cell],
+            ),
+        )
+        result = run(spec, keep_tree=True)
+        assert sum(p.buffers_inserted for p in result.opt.passes) >= 1
+        assert result.issues == []
+        buffered = [
+            node.buffer
+            for node in result.routing.tree.nodes()
+            if node.buffer is not None
+        ]
+        assert {buf.name for buf in buffered} == {"mono"}
+
+    def test_buffered_opt_config_round_trips(self):
+        config = OptConfig(
+            enabled=True,
+            passes=BUFFERED_PASSES,
+            max_cap=5000.0,
+            buffer_library=[
+                {
+                    "name": "mono",
+                    "input_cap": 25.0,
+                    "intrinsic_delay": 16000.0,
+                    "drive_resistance": 70.0,
+                }
+            ],
+        )
+        data = config.to_dict()
+        json.dumps(data)
+        assert OptConfig.from_dict(data) == config
 
 
 # ----------------------------------------------------------------------
