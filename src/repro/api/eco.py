@@ -126,6 +126,9 @@ class EcoResult:
     error: Optional[str] = None
     #: Resource measurements, excluded from equality like RunResult.stats.
     stats: Dict[str, float] = field(default_factory=dict, compare=False)
+    #: NDJSON-ready span events recorded when the re-route ran with
+    #: ``trace=True``; empty (and omitted from ``to_dict``) otherwise.
+    trace: List[Dict[str, Any]] = field(default_factory=list, compare=False, repr=False)
     #: The stitched RoutingResult; never serialised.
     routing: Optional[Any] = field(default=None, compare=False, repr=False)
 
@@ -144,7 +147,7 @@ class EcoResult:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "spec": self.spec.to_dict(),
             "instance_name": self.instance_name,
             "num_sinks": self.num_sinks,
@@ -164,6 +167,10 @@ class EcoResult:
             "global_skew_ps": self.global_skew_ps,
             "max_intra_group_skew_ps": self.max_intra_group_skew_ps,
         }
+        # Only when present: untraced results keep the exact pre-trace shape.
+        if self.trace:
+            data["trace"] = [dict(event) for event in self.trace]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EcoResult":
@@ -186,6 +193,7 @@ class EcoResult:
             total_seconds=data.get("total_seconds", 0.0),
             error=data.get("error"),
             stats=dict(data.get("stats", {})),
+            trace=[dict(event) for event in data.get("trace", [])],
         )
 
 
@@ -209,7 +217,12 @@ def _eco_config_for(spec: EcoSpec):
     return EcoConfig(router=config, repair=spec.repair), router
 
 
-def run_eco(spec: EcoSpec, keep_tree: bool = False, base_routing: Optional[Any] = None) -> EcoResult:
+def run_eco(
+    spec: EcoSpec,
+    keep_tree: bool = False,
+    base_routing: Optional[Any] = None,
+    trace: bool = False,
+) -> EcoResult:
     """Execute one ECO re-route described by ``spec``.
 
     Args:
@@ -221,36 +234,59 @@ def run_eco(spec: EcoSpec, keep_tree: bool = False, base_routing: Optional[Any] 
             server-side LRU).  When omitted the base spec is routed first --
             which is exactly the full-run cost ECO exists to avoid, so
             callers serving repeated deltas should hold on to the base.
+        trace: record a span trace and attach the NDJSON-ready event list as
+            ``EcoResult.trace``.  The stitched result is bit-identical either
+            way.
     """
+    if trace:
+        from repro.obs.trace import get_tracer
+
+        with get_tracer().session() as session:
+            result = _run_eco(spec, keep_tree, base_routing)
+        result.trace = session.events
+        return result
+    return _run_eco(spec, keep_tree, base_routing)
+
+
+def _run_eco(
+    spec: EcoSpec, keep_tree: bool, base_routing: Optional[Any]
+) -> EcoResult:
     from repro.api.runner import run
     from repro.metrics import peak_rss_mb
+    from repro.obs.trace import get_tracer
 
     started = time.perf_counter()
-    base_seconds = 0.0
-    if base_routing is None:
-        base_result = run(spec.base, keep_tree=True)
-        base_routing = base_result.routing
-        base_seconds = base_result.total_seconds
-    eco_config, router = _eco_config_for(spec)
-    constraints = getattr(router, "_constraints", None)
+    with get_tracer().span("eco", label=spec.label) as eco_span:
+        base_seconds = 0.0
+        if base_routing is None:
+            base_result = run(spec.base, keep_tree=True)
+            base_routing = base_result.routing
+            base_seconds = base_result.total_seconds
+        eco_config, router = _eco_config_for(spec)
+        constraints = getattr(router, "_constraints", None)
 
-    eco_started = time.perf_counter()
-    outcome = eco_reroute(
-        base_routing, spec.delta, eco_config, constraints=constraints
-    )
-    eco_seconds = time.perf_counter() - eco_started
-    routing = outcome.routing
-    instance = routing.instance
+        eco_started = time.perf_counter()
+        outcome = eco_reroute(
+            base_routing, spec.delta, eco_config, constraints=constraints
+        )
+        eco_seconds = time.perf_counter() - eco_started
+        routing = outcome.routing
+        instance = routing.instance
+        eco_span.set(
+            instance=instance.name,
+            dirty_nodes=outcome.eco.dirty_nodes,
+            reused_nodes=outcome.eco.reused_nodes,
+        )
 
-    skew = skew_report(routing.tree)
-    wire = wirelength_report(routing.tree)
-    if spec.validate:
-        validate_kwargs = {"intra_bound_ps": spec.base.effective_bound_ps()}
-        if spec.base.locus_tolerance is not None:
-            validate_kwargs["locus_tolerance"] = spec.base.locus_tolerance
-        issues = validate_result(routing, **validate_kwargs)
-    else:
-        issues = []
+        skew = skew_report(routing.tree)
+        wire = wirelength_report(routing.tree)
+        if spec.validate:
+            validate_kwargs = {"intra_bound_ps": spec.base.effective_bound_ps()}
+            if spec.base.locus_tolerance is not None:
+                validate_kwargs["locus_tolerance"] = spec.base.locus_tolerance
+            issues = validate_result(routing, **validate_kwargs)
+        else:
+            issues = []
     total = time.perf_counter() - started
     return EcoResult(
         spec=spec,
@@ -276,11 +312,13 @@ def run_eco(spec: EcoSpec, keep_tree: bool = False, base_routing: Optional[Any] 
     )
 
 
-def run_eco_safe(spec: EcoSpec, base_routing: Optional[Any] = None) -> EcoResult:
+def run_eco_safe(
+    spec: EcoSpec, base_routing: Optional[Any] = None, trace: bool = False
+) -> EcoResult:
     """Like :func:`run_eco` but captures exceptions in ``EcoResult.error``."""
     started = time.perf_counter()
     try:
-        return run_eco(spec, base_routing=base_routing)
+        return run_eco(spec, base_routing=base_routing, trace=trace)
     except Exception as exc:  # noqa: BLE001 - per-run capture is the point
         return EcoResult(
             spec=spec,

@@ -465,6 +465,12 @@ class RunResult:
     #: bench harness and the service ``/stats`` endpoint.  Excluded from
     #: equality so cached results compare equal across re-runs.
     stats: Dict[str, float] = field(default_factory=dict, compare=False)
+    #: Span trace of the run (the NDJSON event dicts of
+    #: :mod:`repro.obs.trace`); only populated by ``run(spec, trace=True)``
+    #: -- ``--trace-out`` and the service's ``X-Repro-Trace`` opt-in.
+    #: Excluded from equality, and from ``to_dict`` when empty, so untraced
+    #: results serialise byte-identically to previous releases.
+    trace: List[Dict[str, Any]] = field(default_factory=list, compare=False, repr=False)
     #: The full RoutingResult (tree, stats, loci); only populated by
     #: ``run(spec, keep_tree=True)`` and never serialised.
     routing: Optional[Any] = field(default=None, compare=False, repr=False)
@@ -508,6 +514,8 @@ class RunResult:
             "global_skew_ps": self.global_skew_ps,
             "max_intra_group_skew_ps": self.max_intra_group_skew_ps,
         }
+        if self.trace:
+            data["trace"] = [dict(event) for event in self.trace]
         return data
 
     @classmethod
@@ -532,4 +540,5 @@ class RunResult:
             if data.get("opt") is None
             else OptReport.from_dict(data["opt"]),
             stats=dict(data.get("stats", {})),
+            trace=[dict(event) for event in data.get("trace", [])],
         )

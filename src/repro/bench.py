@@ -511,7 +511,12 @@ def eco_configs(
 # Execution
 # ----------------------------------------------------------------------
 def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one bench config in this (fresh) process; returns the row."""
+    """Execute one bench config in this (fresh) process; returns the row.
+
+    With ``config["trace"]`` the run records a span trace and the row carries
+    the event list under ``"trace"`` -- a transport key the parent pops (and
+    namespaces) before the row enters the payload.
+    """
     spec = RunSpec.from_dict(config["spec"])
     row: Dict[str, Any] = {
         "kind": "routing",
@@ -551,10 +556,12 @@ def _bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         "error": None,
     }
     try:
-        result = run(spec, keep_tree=True)
+        result = run(spec, keep_tree=True, trace=bool(config.get("trace")))
     except Exception as exc:  # noqa: BLE001 - a bench row must never abort the suite
         row["error"] = "%s: %s" % (type(exc).__name__, exc)
         return row
+    if result.trace:
+        row["trace"] = result.trace
     stats = result.routing.stats
     # The ``wirelength`` column stays comparable across schema versions: for
     # repaired rows it is the *routed* (pre-repair) wirelength and the final
@@ -653,11 +660,18 @@ def _eco_worker(config: Dict[str, Any]) -> Dict[str, Any]:
         result = None
         eco_seconds = float("inf")
         for _ in range(3):
-            result = run_eco(eco_spec, keep_tree=True, base_routing=base.routing)
+            result = run_eco(
+                eco_spec,
+                keep_tree=True,
+                base_routing=base.routing,
+                trace=bool(config.get("trace")),
+            )
             eco_seconds = min(eco_seconds, result.eco_seconds)
     except Exception as exc:  # noqa: BLE001 - a bench row must never abort the suite
         row["error"] = "%s: %s" % (type(exc).__name__, exc)
         return row
+    if result.trace:
+        row["trace"] = result.trace
     stats = result.eco
     row.update(
         moved_sinks=len(moves),
@@ -989,8 +1003,28 @@ def _eco_gates(
     return gates
 
 
+def _collect_row_trace(row: Dict[str, Any], trace_events: List[Dict[str, Any]]) -> None:
+    """Move a worker row's span events into the suite-wide ``trace_events``.
+
+    Every worker runs in a fresh process, so span ids restart at 1 per row;
+    the merged stream namespaces them by row label to keep parent/child links
+    unambiguous.  The transport key is popped so payload rows stay clean.
+    """
+    label = row["label"]
+    for event in row.pop("trace", []):
+        event = dict(event)
+        event["span_id"] = "%s/%s" % (label, event["span_id"])
+        if event.get("parent_id") is not None:
+            event["parent_id"] = "%s/%s" % (label, event["parent_id"])
+        event.setdefault("attrs", {})["bench_label"] = label
+        trace_events.append(event)
+
+
 def _run_configs(
-    configs: List[Dict[str, Any]], progress=None, worker=_bench_worker
+    configs: List[Dict[str, Any]],
+    progress=None,
+    worker=_bench_worker,
+    trace_events: Optional[List[Dict[str, Any]]] = None,
 ) -> List[Dict[str, Any]]:
     """Execute bench configs sequentially, one fresh worker process each.
 
@@ -1001,8 +1035,12 @@ def _run_configs(
     """
     rows: List[Dict[str, Any]] = []
     for config in configs:
+        if trace_events is not None:
+            config = dict(config, trace=True)
         with ProcessPoolExecutor(max_workers=1) as pool:
             row = pool.submit(worker, config).result()
+        if trace_events is not None:
+            _collect_row_trace(row, trace_events)
         rows.append(row)
         if progress is not None:
             progress(row)
@@ -1018,6 +1056,7 @@ def run_suite(
     service_sizes: Optional[Sequence[int]] = None,
     large_sizes: Optional[Sequence[int]] = None,
     eco_sizes: Optional[Sequence[int]] = None,
+    trace_events: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Run the requested suite(s) and return the ``BENCH_*.json`` payload.
 
@@ -1039,6 +1078,13 @@ def run_suite(
             or 50k with ``smoke=True``).
         eco_sizes: sink counts of the ECO suite (defaults to 2000/8000, or
             120 with ``smoke=True``).
+        trace_events: when a list is supplied, every routing / eco run
+            executes with span tracing on and its events are appended here
+            with span ids namespaced by row label (``label/id``) -- what
+            ``repro bench --trace-out`` writes as NDJSON.  Service rows do
+            not contribute (the load harness measures the server, not one
+            run).  Traced rows pay the tracing overhead, so do not compare
+            their timings against untraced trajectories.
     """
     if suite not in SUITES:
         raise ValueError("unknown bench suite %r; expected one of %s" % (suite, SUITES))
@@ -1051,7 +1097,13 @@ def run_suite(
     scaling_sizes: List[int] = []
     if suite in ("scaling", "all"):
         scaling_sizes = list(sizes)
-        rows.extend(_run_configs(scaling_configs(scaling_sizes, seed=seed), progress))
+        rows.extend(
+            _run_configs(
+                scaling_configs(scaling_sizes, seed=seed),
+                progress,
+                trace_events=trace_events,
+            )
+        )
         gates.extend(_gates(rows, scaling_sizes, threshold))
     used_large_sizes: List[int] = []
     if suite in ("large", "all"):
@@ -1063,7 +1115,11 @@ def run_suite(
             else:
                 large_sizes = SMOKE_LARGE_SIZES if smoke else LARGE_SIZES
         used_large_sizes = list(large_sizes)
-        large_rows = _run_configs(large_configs(used_large_sizes, seed=seed), progress)
+        large_rows = _run_configs(
+            large_configs(used_large_sizes, seed=seed),
+            progress,
+            trace_events=trace_events,
+        )
         rows.extend(large_rows)
         gates.extend(_large_gates(large_rows, used_large_sizes, smoke))
     used_eco_sizes: List[int] = []
@@ -1077,7 +1133,10 @@ def run_suite(
                 eco_sizes = SMOKE_ECO_SIZES if smoke else ECO_SIZES
         used_eco_sizes = list(eco_sizes)
         eco_rows = _run_configs(
-            eco_configs(used_eco_sizes, seed=seed), progress, worker=_eco_worker
+            eco_configs(used_eco_sizes, seed=seed),
+            progress,
+            worker=_eco_worker,
+            trace_events=trace_events,
         )
         rows.extend(eco_rows)
         gates.extend(_eco_gates(eco_rows, used_eco_sizes, smoke))

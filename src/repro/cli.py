@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -58,6 +59,40 @@ from repro.experiments.table2 import run_table2
 __all__ = ["main", "build_parser"]
 
 
+class OutputWriter:
+    """Routes CLI output to the right stream.
+
+    Three channels, so scripts can consume stdout while humans read stderr:
+
+    * :meth:`out` -- the report channel (tables, summaries).  Goes to stdout;
+      dropped with ``--quiet``, and dropped in JSON mode, where stdout must
+      carry nothing but the JSON document.
+    * :meth:`info` -- progress notes ("wrote FILE").  Goes to stderr; dropped
+      with ``--quiet``.
+    * :meth:`warn` -- warnings and validation issues.  Always printed, always
+      on stderr.
+    * :meth:`emit_json` -- the JSON document itself, always on stdout.
+    """
+
+    def __init__(self, quiet: bool = False, json_mode: bool = False) -> None:
+        self.quiet = quiet
+        self.json_mode = json_mode
+
+    def out(self, text: str = "") -> None:
+        if not self.quiet and not self.json_mode:
+            print(text)
+
+    def info(self, text: str) -> None:
+        if not self.quiet:
+            print(text, file=sys.stderr)
+
+    def warn(self, text: str) -> None:
+        print(text, file=sys.stderr)
+
+    def emit_json(self, payload) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of the ``repro`` command."""
     import repro
@@ -68,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version="%(prog)s " + repro.__version__
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress reports and progress notes; warnings, validation "
+        "issues and requested JSON documents still print",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -167,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON summary"
     )
+    route.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record a span trace of the run and write it as NDJSON "
+        "(one event per line; summarize with 'repro trace summarize FILE')",
+    )
 
     optimize = sub.add_parser(
         "optimize",
@@ -224,6 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON summary"
     )
+    optimize.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record a span trace of the run and write it as NDJSON",
+    )
 
     eco = sub.add_parser(
         "eco",
@@ -255,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     eco.add_argument(
         "--json", action="store_true", help="emit a machine-readable JSON summary"
+    )
+    eco.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record a span trace of the re-route and write it as NDJSON",
     )
 
     batch = sub.add_parser(
@@ -365,6 +425,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", action="store_true", help="also print the full JSON payload"
     )
+    bench.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record span traces of every bench row and write them as one "
+        "NDJSON file (span ids are namespaced per row label)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="work with NDJSON span traces written by --trace-out"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="aggregate an NDJSON trace into a per-span table (count, "
+        "cumulative and self seconds, p50/p99)",
+    )
+    summarize.add_argument("file", help="NDJSON trace file written by --trace-out")
+    summarize.add_argument(
+        "--json", action="store_true", help="emit the summary rows as JSON"
+    )
 
     for name, help_text in (
         ("table1", "reproduce Table I (clustered sink groups)"),
@@ -393,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_generate(args: argparse.Namespace) -> int:
+def _cmd_generate(args: argparse.Namespace, writer: OutputWriter) -> int:
     if (args.circuit is None) == (args.family is None):
         raise SystemExit("generate needs exactly one of a circuit name or --family")
     if args.family is not None:
@@ -413,21 +494,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         )
     instance = spec.build()
     save_instance(instance, args.output)
-    print(
+    writer.out(
         "wrote %s (%d sinks, %d groups, %d blockages)"
         % (args.output, instance.num_sinks, instance.num_groups, len(instance.obstacles))
     )
     return 0
 
 
-def _print_run_result(result: RunResult) -> None:
-    print("instance       : %s (%d sinks, %d groups)"
-          % (result.instance_name, result.num_sinks, result.num_groups))
-    print("algorithm      : %s" % result.spec.router.name)
-    print("wirelength     : %.0f" % result.wirelength)
-    print("global skew    : %.1f ps" % result.global_skew_ps)
-    print("intra-group    : %.1f ps (worst group)" % result.max_intra_group_skew_ps)
-    print("cpu            : %.2f s" % result.route_seconds)
+def _print_run_result(writer: OutputWriter, result: RunResult) -> None:
+    writer.out("instance       : %s (%d sinks, %d groups)"
+               % (result.instance_name, result.num_sinks, result.num_groups))
+    writer.out("algorithm      : %s" % result.spec.router.name)
+    writer.out("wirelength     : %.0f" % result.wirelength)
+    writer.out("global skew    : %.1f ps" % result.global_skew_ps)
+    writer.out("intra-group    : %.1f ps (worst group)" % result.max_intra_group_skew_ps)
+    writer.out("cpu            : %.2f s" % result.route_seconds)
 
 
 def _instance_spec_from_args(args: argparse.Namespace) -> InstanceSpec:
@@ -438,25 +519,39 @@ def _instance_spec_from_args(args: argparse.Namespace) -> InstanceSpec:
     )
 
 
-def _run_and_print(spec: RunSpec, as_json: bool) -> int:
+def _write_trace(trace, path: str, writer: OutputWriter) -> None:
+    from repro.obs.trace import write_ndjson
+
+    write_ndjson(trace, path)
+    writer.info("wrote %d trace event(s) to %s" % (len(trace), path))
+
+
+def _run_and_print(
+    spec: RunSpec,
+    as_json: bool,
+    writer: OutputWriter,
+    trace_out: Optional[str] = None,
+) -> int:
     """Execute ``spec`` and print the summary (shared by route / optimize)."""
-    result = run(spec)
+    result = run(spec, trace=trace_out is not None)
+    if trace_out is not None:
+        _write_trace(result.trace, trace_out, writer)
     if as_json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        writer.emit_json(result.to_dict())
         return 0 if result.ok else 1
-    _print_run_result(result)
+    _print_run_result(writer, result)
     if result.opt is not None:
-        _print_opt_report(result.opt)
+        _print_opt_report(writer, result.opt)
     if spec.validate:
         if result.issues:
             for issue in result.issues:
-                print("VALIDATION: %s" % issue)
+                writer.warn("VALIDATION: %s" % issue)
             return 1
-        print("validation     : ok")
+        writer.out("validation     : ok")
     return 0
 
 
-def _cmd_route(args: argparse.Namespace) -> int:
+def _cmd_route(args: argparse.Namespace, writer: OutputWriter) -> int:
     # Only forward the bound when the user asked for one: third-party routers
     # need not understand skew_bound_ps, and the built-ins default to 10 ps
     # anyway.  Validation uses RunSpec.effective_bound_ps(), which falls back
@@ -481,27 +576,27 @@ def _cmd_route(args: argparse.Namespace) -> int:
         opt=opt,
         locus_tolerance=args.tolerance,
     )
-    return _run_and_print(spec, args.json)
+    return _run_and_print(spec, args.json, writer, trace_out=args.trace_out)
 
 
-def _print_opt_report(report) -> None:
-    print("repair         : %s after %d iteration(s)"
-          % ("converged" if report.converged else "NOT converged", report.iterations))
-    print("  skew         : %.2f -> %.2f ps (bound %.1f ps)"
-          % (report.max_intra_skew_before_ps, report.max_intra_skew_after_ps,
-             report.bound_ps))
-    print("  violations   : %d -> %d group(s)"
-          % (report.skew_violations_before, report.skew_violations_after))
-    print("  wirelength   : %.0f -> %.0f (%+.2f%%)"
-          % (report.wirelength_before, report.wirelength_after,
-             100.0 * report.wire_added / report.wirelength_before
-             if report.wirelength_before else 0.0))
+def _print_opt_report(writer: OutputWriter, report) -> None:
+    writer.out("repair         : %s after %d iteration(s)"
+               % ("converged" if report.converged else "NOT converged", report.iterations))
+    writer.out("  skew         : %.2f -> %.2f ps (bound %.1f ps)"
+               % (report.max_intra_skew_before_ps, report.max_intra_skew_after_ps,
+                  report.bound_ps))
+    writer.out("  violations   : %d -> %d group(s)"
+               % (report.skew_violations_before, report.skew_violations_after))
+    writer.out("  wirelength   : %.0f -> %.0f (%+.2f%%)"
+               % (report.wirelength_before, report.wirelength_after,
+                  100.0 * report.wire_added / report.wirelength_before
+                  if report.wirelength_before else 0.0))
     buffers = sum(outcome.buffers_inserted for outcome in report.passes)
     if buffers:
-        print("  buffers      : %d inserted" % buffers)
+        writer.out("  buffers      : %d inserted" % buffers)
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
+def _cmd_optimize(args: argparse.Namespace, writer: OutputWriter) -> int:
     # `repro optimize` is `repro route --repair --validate` plus the optimizer
     # knobs that only make sense when repairing is the point.
     options = {} if args.bound_ps is None else {"skew_bound_ps": args.bound_ps}
@@ -532,7 +627,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         opt=OptConfig(**opt_kwargs),
         locus_tolerance=args.tolerance,
     )
-    return _run_and_print(spec, args.json)
+    return _run_and_print(spec, args.json, writer, trace_out=args.trace_out)
 
 
 def _load_json_object(path: str, what: str) -> dict:
@@ -548,7 +643,7 @@ def _load_json_object(path: str, what: str) -> dict:
     return data
 
 
-def _cmd_eco(args: argparse.Namespace) -> int:
+def _cmd_eco(args: argparse.Namespace, writer: OutputWriter) -> int:
     from repro.api.eco import EcoSpec, run_eco
     from repro.eco import EcoDelta, EcoDeltaError
 
@@ -565,32 +660,34 @@ def _cmd_eco(args: argparse.Namespace) -> int:
         validate=args.validate,
         repair=OptConfig(enabled=True) if args.repair else None,
     )
-    result = run_eco(spec)
+    result = run_eco(spec, trace=args.trace_out is not None)
+    if args.trace_out is not None:
+        _write_trace(result.trace, args.trace_out, writer)
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        writer.emit_json(result.to_dict())
         return 0 if result.ok else 1
-    print("instance       : %s (%d sinks, %d groups)"
-          % (result.instance_name, result.num_sinks, result.num_groups))
-    print("algorithm      : %s" % spec.base.router.name)
-    print("delta          : +%d sinks, %d moved, -%d sinks, +%d blockages"
-          % (len(delta.add), len(delta.move), len(delta.remove), len(delta.add_blockages)))
-    print("wirelength     : %.0f" % result.wirelength)
-    print("global skew    : %.1f ps" % result.global_skew_ps)
-    print("intra-group    : %.1f ps (worst group)" % result.max_intra_group_skew_ps)
+    writer.out("instance       : %s (%d sinks, %d groups)"
+               % (result.instance_name, result.num_sinks, result.num_groups))
+    writer.out("algorithm      : %s" % spec.base.router.name)
+    writer.out("delta          : +%d sinks, %d moved, -%d sinks, +%d blockages"
+               % (len(delta.add), len(delta.move), len(delta.remove), len(delta.add_blockages)))
+    writer.out("wirelength     : %.0f" % result.wirelength)
+    writer.out("global skew    : %.1f ps" % result.global_skew_ps)
+    writer.out("intra-group    : %.1f ps (worst group)" % result.max_intra_group_skew_ps)
     if result.eco is not None:
-        print("dirty cone     : %d node(s), %d preserved subtree(s)"
-              % (result.eco.cone_nodes, result.eco.frontier_subtrees))
-        print("nodes          : %d reused, %d rebuilt%s"
-              % (result.eco.reused_nodes, result.eco.rebuilt_nodes,
-                 ", repaired" if result.eco.repaired else ""))
-    print("cpu            : %.3f s eco (base route %.3f s)"
-          % (result.eco_seconds, result.base_seconds))
+        writer.out("dirty cone     : %d node(s), %d preserved subtree(s)"
+                   % (result.eco.cone_nodes, result.eco.frontier_subtrees))
+        writer.out("nodes          : %d reused, %d rebuilt%s"
+                   % (result.eco.reused_nodes, result.eco.rebuilt_nodes,
+                      ", repaired" if result.eco.repaired else ""))
+    writer.out("cpu            : %.3f s eco (base route %.3f s)"
+               % (result.eco_seconds, result.base_seconds))
     if spec.validate:
         if result.issues:
             for issue in result.issues:
-                print("VALIDATION: %s" % issue)
+                writer.warn("VALIDATION: %s" % issue)
             return 1
-        print("validation     : ok")
+        writer.out("validation     : ok")
     return 0
 
 
@@ -612,11 +709,11 @@ def _load_batch_specs(path: str) -> List[RunSpec]:
     return specs
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
+def _cmd_batch(args: argparse.Namespace, writer: OutputWriter) -> int:
     specs = _load_batch_specs(args.specs)
     results = BatchRunner(workers=args.workers).run(specs)
     if args.json:
-        print(json.dumps([r.to_dict() for r in results], indent=2, sort_keys=True))
+        writer.emit_json([r.to_dict() for r in results])
     else:
         for index, result in enumerate(results):
             label = result.spec.label or result.instance_name or ("run-%d" % index)
@@ -626,7 +723,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 status = "INVALID (%d issues)" % len(result.issues)
             else:
                 status = "ok"
-            print(
+            writer.out(
                 "%-24s %-12s wl %12.0f  intra %6.2f ps  global %8.2f ps  %s"
                 % (
                     label,
@@ -642,7 +739,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _cmd_serve(args: argparse.Namespace, _writer: OutputWriter) -> int:
     from repro.service.server import ServiceConfig, serve
 
     serve(
@@ -658,7 +755,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def _cmd_bench(args: argparse.Namespace, writer: OutputWriter) -> int:
     from repro.bench import format_rows, run_suite, validate_bench_payload
 
     def progress(row):
@@ -669,11 +766,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seconds = row["eco_seconds"]
         else:
             seconds = row["cold_seconds"]
-        print(
-            "bench %-36s %9.3f s  %s" % (row["label"], seconds, status),
-            file=sys.stderr,
-        )
+        writer.info("bench %-36s %9.3f s  %s" % (row["label"], seconds, status))
 
+    trace_events: Optional[List[dict]] = [] if args.trace_out is not None else None
     payload = run_suite(
         sizes=args.sizes,
         seed=args.seed,
@@ -682,15 +777,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         suite=args.suite,
         service_sizes=args.service_sizes,
         eco_sizes=args.eco_sizes,
+        trace_events=trace_events,
     )
     validate_bench_payload(payload)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(format_rows(payload, profile=args.profile))
-    print("wrote %s" % args.out)
+    if trace_events is not None:
+        _write_trace(trace_events, args.trace_out, writer)
+    writer.out(format_rows(payload, profile=args.profile))
+    writer.info("wrote %s" % args.out)
     if args.json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        writer.emit_json(payload)
     # Row errors and failed gates surface in the exit code so CI can gate on
     # `repro bench --smoke` directly.
     ok = all(row["ok"] for row in payload["rows"]) and all(
@@ -699,64 +797,83 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_routers(_: argparse.Namespace) -> int:
+def _cmd_routers(_: argparse.Namespace, writer: OutputWriter) -> int:
     for name in available_routers():
-        print("%-12s %s" % (name, router_description(name)))
+        writer.out("%-12s %s" % (name, router_description(name)))
     return 0
 
 
-def _cmd_table(args: argparse.Namespace, which: str) -> int:
+def _cmd_trace(args: argparse.Namespace, writer: OutputWriter) -> int:
+    from repro.obs.summarize import format_summary, load_ndjson, summarize_events
+
+    if args.trace_command == "summarize":
+        rows = summarize_events(load_ndjson(args.file))
+        if args.json:
+            writer.emit_json(rows)
+        else:
+            writer.out(format_summary(rows))
+        return 0
+    raise SystemExit("unknown trace subcommand %r" % args.trace_command)
+
+
+def _cmd_table(args: argparse.Namespace, which: str, writer: OutputWriter) -> int:
     config = ExperimentConfig(group_counts=tuple(args.groups), skew_bound_ps=args.bound_ps)
     runner = run_table1 if which == "table1" else run_table2
     rows = runner(circuits=args.circuits, config=config)
     if args.csv:
-        print(rows_to_csv(rows))
+        writer.out(rows_to_csv(rows))
     else:
         title = "Table I (clustered groups)" if which == "table1" else "Table II (intermingled groups)"
-        print(format_table(rows, title=title))
+        writer.out(format_table(rows, title=title))
     return 0
 
 
-def _cmd_figure1(_: argparse.Namespace) -> int:
+def _cmd_figure1(_: argparse.Namespace, writer: OutputWriter) -> int:
     result = run_figure1()
-    print("zero-skew tree    : wirelength %.0f, skew %.2f ps" % (result.zero_skew_wirelength, result.zero_skew_ps))
-    print("bounded-skew tree : wirelength %.0f, skew %.2f ps (bound %.1f ps)"
-          % (result.bounded_wirelength, result.bounded_skew_ps, result.bound_ps))
-    print("wire saved        : %.0f" % result.wirelength_saving)
+    writer.out("zero-skew tree    : wirelength %.0f, skew %.2f ps" % (result.zero_skew_wirelength, result.zero_skew_ps))
+    writer.out("bounded-skew tree : wirelength %.0f, skew %.2f ps (bound %.1f ps)"
+               % (result.bounded_wirelength, result.bounded_skew_ps, result.bound_ps))
+    writer.out("wire saved        : %.0f" % result.wirelength_saving)
     return 0
 
 
-def _cmd_figure2(_: argparse.Namespace) -> int:
+def _cmd_figure2(_: argparse.Namespace, writer: OutputWriter) -> int:
     result = run_figure2()
-    print("separate per-group trees : wirelength %.0f" % result.separate_wirelength)
-    print("cross-group AST-DME tree : wirelength %.0f" % result.merged_wirelength)
-    print("reduction                : %.1f%%" % result.reduction_pct)
+    writer.out("separate per-group trees : wirelength %.0f" % result.separate_wirelength)
+    writer.out("cross-group AST-DME tree : wirelength %.0f" % result.merged_wirelength)
+    writer.out("reduction                : %.1f%%" % result.reduction_pct)
     return 0
 
 
 def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    writer = OutputWriter(
+        quiet=getattr(args, "quiet", False),
+        json_mode=bool(getattr(args, "json", False)),
+    )
     if args.command == "generate":
-        return _cmd_generate(args)
+        return _cmd_generate(args, writer)
     if args.command == "route":
-        return _cmd_route(args)
+        return _cmd_route(args, writer)
     if args.command == "optimize":
-        return _cmd_optimize(args)
+        return _cmd_optimize(args, writer)
     if args.command == "eco":
-        return _cmd_eco(args)
+        return _cmd_eco(args, writer)
     if args.command == "batch":
-        return _cmd_batch(args)
+        return _cmd_batch(args, writer)
     if args.command == "routers":
-        return _cmd_routers(args)
+        return _cmd_routers(args, writer)
     if args.command == "serve":
-        return _cmd_serve(args)
+        return _cmd_serve(args, writer)
     if args.command == "bench":
-        return _cmd_bench(args)
+        return _cmd_bench(args, writer)
+    if args.command == "trace":
+        return _cmd_trace(args, writer)
     if args.command in ("table1", "table2"):
-        return _cmd_table(args, args.command)
+        return _cmd_table(args, args.command, writer)
     if args.command == "figure1":
-        return _cmd_figure1(args)
+        return _cmd_figure1(args, writer)
     if args.command == "figure2":
-        return _cmd_figure2(args)
+        return _cmd_figure2(args, writer)
     parser.error("unknown command %r" % args.command)  # pragma: no cover
     return 2  # pragma: no cover
 
@@ -772,6 +889,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _dispatch(parser, args)
+    except BrokenPipeError:
+        # ``repro ... | head`` closing stdout early is not an error; exit
+        # quietly like any well-behaved pipeline stage (os.devnull swap keeps
+        # the interpreter from re-raising EPIPE while flushing at shutdown).
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
     except (OSError, ValueError) as exc:
         print("repro: error: %s" % exc, file=sys.stderr)
         return 2

@@ -51,6 +51,7 @@ from repro.core.merge_batch import (
     resolve_split,
 )
 from repro.cts.embedding import embed_tree
+from repro.obs.trace import get_tracer
 from repro.cts.tree import ClockTree
 from repro.geometry.point import Point
 from repro.geometry.trr import Trr
@@ -166,120 +167,128 @@ def route_arena(
     # Bottom-up merging.
     # ------------------------------------------------------------------
     m = n
+    tracer = get_tracer()
     while m > 1:
-        select_start = time.perf_counter()
-        max_delays = (
-            np.where(present, delays[:, :, 1], -np.inf).max(axis=1)
-            if want_bias
-            else None
-        )
-        pairs = selector.pairs_for_pass_arrays(loci, node_id.tolist(), max_delays)
-        stats.select_seconds += time.perf_counter() - select_start
-        if not pairs:
-            raise RuntimeError("merging-order policy returned no pairs")
-        stats.passes += 1
+        with tracer.span("dme.pass", index=stats.passes, subtrees=m) as pass_span:
+            select_start = time.perf_counter()
+            max_delays = (
+                np.where(present, delays[:, :, 1], -np.inf).max(axis=1)
+                if want_bias
+                else None
+            )
+            with tracer.span("dme.select"):
+                pairs = selector.pairs_for_pass_arrays(
+                    loci, node_id.tolist(), max_delays
+                )
+            stats.select_seconds += time.perf_counter() - select_start
+            if not pairs:
+                raise RuntimeError("merging-order policy returned no pairs")
+            stats.passes += 1
+            pass_span.set(pairs=len(pairs))
 
-        merge_start = time.perf_counter()
-        # Spend deferred cross-group freedom now that the partners are known,
-        # sequentially in pair order exactly like the object backend (each
-        # side resolves towards the partner's current -- possibly just
-        # updated -- locus).
-        for ia, ib in pairs:
-            if pending[ia] is not None:
-                _resolve_row(ia, loci[ib])
-            if pending[ib] is not None:
-                _resolve_row(ib, loci[ia])
+            merge_start = time.perf_counter()
+            with tracer.span("dme.merge") as merge_span:
+                # Spend deferred cross-group freedom now that the partners are known,
+                # sequentially in pair order exactly like the object backend (each
+                # side resolves towards the partner's current -- possibly just
+                # updated -- locus).
+                for ia, ib in pairs:
+                    if pending[ia] is not None:
+                        _resolve_row(ia, loci[ib])
+                    if pending[ib] is not None:
+                        _resolve_row(ib, loci[ia])
 
-        num_pairs = len(pairs)
-        a_idx = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=num_pairs)
-        b_idx = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=num_pairs)
-        plan = plan_merges(
-            loci[a_idx],
-            loci[b_idx],
-            cap[a_idx],
-            cap[b_idx],
-            delays[a_idx],
-            delays[b_idx],
-            present[a_idx],
-            present[b_idx],
-            bounds,
-            r,
-            c,
-            config.allow_snaking,
-        )
-
-        # Materialise the new merge nodes: ids continue in pair order, so
-        # they match the object backend's add_internal ids exactly.
-        new_ids = np.arange(next_id, next_id + num_pairs, dtype=np.int64)
-        ca_ids = node_id[a_idx]
-        cb_ids = node_id[b_idx]
-        t_child_a[new_ids] = ca_ids
-        t_child_b[new_ids] = cb_ids
-        t_parent[ca_ids] = new_ids
-        t_parent[cb_ids] = new_ids
-        t_edge[ca_ids] = plan.ea
-        t_edge[cb_ids] = plan.eb
-        t_loci[new_ids] = plan.locus
-        next_id += num_pairs
-
-        # Statistics, group association and new pendings, in pair order.
-        case_list = plan.case_codes.tolist()
-        snaked_list = plan.snaked.tolist()
-        detour_list = plan.detour.tolist()
-        viol_list = plan.violation.tolist()
-        ea_list = plan.ea.tolist()
-        dist_list = plan.distance.tolist()
-        by_case = stats.merges_by_case
-        new_pending: List[Optional[ArenaPending]] = [None] * num_pairs
-        for t in range(num_pairs):
-            label = CASE_LABELS[case_list[t]]
-            by_case[label] = by_case.get(label, 0) + 1
-            if snaked_list[t]:
-                stats.snaked_merges += 1
-                stats.total_detour += detour_list[t]
-            stats.max_violation = max(stats.max_violation, viol_list[t])
-            ia = int(a_idx[t])
-            ib = int(b_idx[t])
-            if num_groups == 1:
-                association.associate(group_ids[0], group_ids[0])
-            else:
-                ga = [group_ids[k] for k in np.flatnonzero(present[ia]).tolist()]
-                gb = [group_ids[k] for k in np.flatnonzero(present[ib]).tolist()]
-                anchor = ga[0]
-                for g in ga[1:]:
-                    association.associate(anchor, g)
-                for g in gb:
-                    association.associate(anchor, g)
-            if case_list[t] == DISJOINT_CODE and not snaked_list[t]:
-                new_pending[t] = ArenaPending(
-                    child_a_id=int(ca_ids[t]),
-                    child_b_id=int(cb_ids[t]),
-                    locus_a=loci[ia].copy(),
-                    locus_b=loci[ib].copy(),
-                    distance=dist_list[t],
-                    cap_a=float(cap[ia]),
-                    cap_b=float(cap[ib]),
-                    delays_a=delays[ia].copy(),
-                    delays_b=delays[ib].copy(),
-                    present_a=present[ia].copy(),
-                    present_b=present[ib].copy(),
-                    balance_split=ea_list[t],
+                num_pairs = len(pairs)
+                a_idx = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=num_pairs)
+                b_idx = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=num_pairs)
+                plan = plan_merges(
+                    loci[a_idx],
+                    loci[b_idx],
+                    cap[a_idx],
+                    cap[b_idx],
+                    delays[a_idx],
+                    delays[b_idx],
+                    present[a_idx],
+                    present[b_idx],
+                    bounds,
+                    r,
+                    c,
+                    config.allow_snaking,
                 )
 
-        # Compact: survivors keep their order, merged rows append in pair
-        # order (the object backend's survivor-list + new-subtree layout).
-        keep_mask = np.ones(m, dtype=bool)
-        keep_mask[a_idx] = False
-        keep_mask[b_idx] = False
-        keep = np.flatnonzero(keep_mask)
-        loci = np.concatenate((loci[keep], plan.locus))
-        cap = np.concatenate((cap[keep], plan.cap))
-        delays = np.concatenate((delays[keep], plan.delays))
-        present = np.concatenate((present[keep], plan.present))
-        node_id = np.concatenate((node_id[keep], new_ids))
-        pending = [pending[k] for k in keep.tolist()] + new_pending
-        m = int(node_id.shape[0])
-        stats.merge_seconds += time.perf_counter() - merge_start
+                # Materialise the new merge nodes: ids continue in pair order, so
+                # they match the object backend's add_internal ids exactly.
+                new_ids = np.arange(next_id, next_id + num_pairs, dtype=np.int64)
+                ca_ids = node_id[a_idx]
+                cb_ids = node_id[b_idx]
+                t_child_a[new_ids] = ca_ids
+                t_child_b[new_ids] = cb_ids
+                t_parent[ca_ids] = new_ids
+                t_parent[cb_ids] = new_ids
+                t_edge[ca_ids] = plan.ea
+                t_edge[cb_ids] = plan.eb
+                t_loci[new_ids] = plan.locus
+                next_id += num_pairs
+
+                # Statistics, group association and new pendings, in pair order.
+                case_list = plan.case_codes.tolist()
+                snaked_list = plan.snaked.tolist()
+                detour_list = plan.detour.tolist()
+                viol_list = plan.violation.tolist()
+                ea_list = plan.ea.tolist()
+                dist_list = plan.distance.tolist()
+                by_case = stats.merges_by_case
+                new_pending: List[Optional[ArenaPending]] = [None] * num_pairs
+                for t in range(num_pairs):
+                    label = CASE_LABELS[case_list[t]]
+                    by_case[label] = by_case.get(label, 0) + 1
+                    if snaked_list[t]:
+                        stats.snaked_merges += 1
+                        stats.total_detour += detour_list[t]
+                    stats.max_violation = max(stats.max_violation, viol_list[t])
+                    ia = int(a_idx[t])
+                    ib = int(b_idx[t])
+                    if num_groups == 1:
+                        association.associate(group_ids[0], group_ids[0])
+                    else:
+                        ga = [group_ids[k] for k in np.flatnonzero(present[ia]).tolist()]
+                        gb = [group_ids[k] for k in np.flatnonzero(present[ib]).tolist()]
+                        anchor = ga[0]
+                        for g in ga[1:]:
+                            association.associate(anchor, g)
+                        for g in gb:
+                            association.associate(anchor, g)
+                    if case_list[t] == DISJOINT_CODE and not snaked_list[t]:
+                        new_pending[t] = ArenaPending(
+                            child_a_id=int(ca_ids[t]),
+                            child_b_id=int(cb_ids[t]),
+                            locus_a=loci[ia].copy(),
+                            locus_b=loci[ib].copy(),
+                            distance=dist_list[t],
+                            cap_a=float(cap[ia]),
+                            cap_b=float(cap[ib]),
+                            delays_a=delays[ia].copy(),
+                            delays_b=delays[ib].copy(),
+                            present_a=present[ia].copy(),
+                            present_b=present[ib].copy(),
+                            balance_split=ea_list[t],
+                        )
+
+                # Compact: survivors keep their order, merged rows append in pair
+                # order (the object backend's survivor-list + new-subtree layout).
+                keep_mask = np.ones(m, dtype=bool)
+                keep_mask[a_idx] = False
+                keep_mask[b_idx] = False
+                keep = np.flatnonzero(keep_mask)
+                loci = np.concatenate((loci[keep], plan.locus))
+                cap = np.concatenate((cap[keep], plan.cap))
+                delays = np.concatenate((delays[keep], plan.delays))
+                present = np.concatenate((present[keep], plan.present))
+                node_id = np.concatenate((node_id[keep], new_ids))
+                pending = [pending[k] for k in keep.tolist()] + new_pending
+                m = int(node_id.shape[0])
+                merge_span.add("nodes_merged", 2 * num_pairs)
+            stats.merge_seconds += time.perf_counter() - merge_start
 
     # ------------------------------------------------------------------
     # Source connection.
@@ -308,46 +317,48 @@ def route_arena(
     # Top-down embedding and tree materialisation.
     # ------------------------------------------------------------------
     embed_start = time.perf_counter()
-    obstacles = instance.obstacle_set() if instance.has_obstacles else None
+    with tracer.span("dme.embed") as embed_span:
+        obstacles = instance.obstacle_set() if instance.has_obstacles else None
 
-    xs_list = ys_list = None
-    if obstacles is None:
-        xs, ys = _embed_levels(
-            t_child_a, t_child_b, t_parent, t_edge, t_loci, xs0, ys0, src, n, source_id
-        )
-        xs_list = xs.tolist()
-        ys_list = ys.tolist()
+        xs_list = ys_list = None
+        if obstacles is None:
+            xs, ys = _embed_levels(
+                t_child_a, t_child_b, t_parent, t_edge, t_loci, xs0, ys0, src, n, source_id
+            )
+            xs_list = xs.tolist()
+            ys_list = ys.tolist()
 
-    tree = ClockTree(technology=tech)
-    for sink in sinks:
-        tree.add_sink(
-            location=sink.location,
-            sink_cap=sink.cap,
-            group=sink.group,
-            name="sink-%d" % sink.sink_id,
-        )
-    edge_list = t_edge[:next_id].tolist()
-    ca_list = t_child_a[:next_id].tolist()
-    cb_list = t_child_b[:next_id].tolist()
-    locus_list = t_loci[:next_id].tolist()
-    loci_out: Dict[int, Trr] = {}
-    for nid in range(n, source_id):
-        ca = ca_list[nid]
-        cb = cb_list[nid]
-        location = None if xs_list is None else Point(xs_list[nid], ys_list[nid])
-        tree.add_internal(
-            children=[ca, cb],
-            edge_lengths=[edge_list[ca], edge_list[cb]],
-            location=location,
-        )
-        row = locus_list[nid]
-        loci_out[nid] = Trr(row[0], row[1], row[2], row[3])
-    tree.add_source(src, ca_list[source_id], edge_list[ca_list[source_id]])
+        tree = ClockTree(technology=tech)
+        for sink in sinks:
+            tree.add_sink(
+                location=sink.location,
+                sink_cap=sink.cap,
+                group=sink.group,
+                name="sink-%d" % sink.sink_id,
+            )
+        edge_list = t_edge[:next_id].tolist()
+        ca_list = t_child_a[:next_id].tolist()
+        cb_list = t_child_b[:next_id].tolist()
+        locus_list = t_loci[:next_id].tolist()
+        loci_out: Dict[int, Trr] = {}
+        for nid in range(n, source_id):
+            ca = ca_list[nid]
+            cb = cb_list[nid]
+            location = None if xs_list is None else Point(xs_list[nid], ys_list[nid])
+            tree.add_internal(
+                children=[ca, cb],
+                edge_lengths=[edge_list[ca], edge_list[cb]],
+                location=location,
+            )
+            row = locus_list[nid]
+            loci_out[nid] = Trr(row[0], row[1], row[2], row[3])
+        tree.add_source(src, ca_list[source_id], edge_list[ca_list[source_id]])
 
-    if obstacles is None:
-        stats.obstacle_detour = 0.0
-    else:
-        stats.obstacle_detour = embed_tree(tree, loci_out, obstacles=obstacles)
+        if obstacles is None:
+            stats.obstacle_detour = 0.0
+        else:
+            stats.obstacle_detour = embed_tree(tree, loci_out, obstacles=obstacles)
+        embed_span.add("obstacle_detour", stats.obstacle_detour)
     stats.embed_seconds += time.perf_counter() - embed_start
 
     stats.neighbor_full_rebuilds = selector.full_rebuilds

@@ -42,6 +42,7 @@ from repro.cts.embedding import embed_tree
 from repro.cts.tree import ClockTree
 from repro.delay.technology import Technology
 from repro.geometry.trr import Trr
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "AstDmeConfig",
@@ -247,61 +248,69 @@ class AstDme:
         association = GroupAssociation(instance.groups())
         selector = policy.make_selector()
 
+        tracer = get_tracer()
         while len(subtrees) > 1:
-            select_start = time.perf_counter()
-            pairs = selector.pairs_for_pass(subtrees)
-            stats.select_seconds += time.perf_counter() - select_start
-            if not pairs:
-                raise RuntimeError("merging-order policy returned no pairs")
-            stats.passes += 1
-            merge_start = time.perf_counter()
-            merged_indices = set()
-            new_subtrees: List[Subtree] = []
-            for index_a, index_b in pairs:
-                sub_a = subtrees[index_a]
-                sub_b = subtrees[index_b]
-                # Spend any deferred cross-group freedom now that the next
-                # merge partner is known (see repro.core.lazy_sdr).
-                resolve_pending(
-                    sub_a, sub_b.locus, tech, tree, loci,
-                    max_deviation=self._skew_budget(sub_a, constraints),
-                )
-                resolve_pending(
-                    sub_b, sub_a.locus, tech, tree, loci,
-                    max_deviation=self._skew_budget(sub_b, constraints),
-                )
-                decision = plan_merge(
-                    sub_a,
-                    sub_b,
-                    constraints,
-                    tech,
-                    allow_snaking=self.config.allow_snaking,
-                )
-                node_id = tree.add_internal(
-                    children=[sub_a.node_id, sub_b.node_id],
-                    edge_lengths=[decision.edges.ea, decision.edges.eb],
-                )
-                loci[node_id] = decision.locus
-                merged_subtree = Subtree(
-                    node_id=node_id,
-                    locus=decision.locus,
-                    cap=decision.cap,
-                    delays=decision.delays,
-                    num_sinks=sub_a.num_sinks + sub_b.num_sinks,
-                )
-                if decision.case == DISJOINT and not decision.edges.snaked:
-                    merged_subtree.pending = make_pending(
-                        sub_a, sub_b, decision.edges.distance, decision.edges.ea
-                    )
-                new_subtrees.append(merged_subtree)
-                stats.record(decision)
-                self._record_association(association, sub_a, sub_b)
-                merged_indices.add(index_a)
-                merged_indices.add(index_b)
-            subtrees = [
-                s for i, s in enumerate(subtrees) if i not in merged_indices
-            ] + new_subtrees
-            stats.merge_seconds += time.perf_counter() - merge_start
+            with tracer.span(
+                "dme.pass", index=stats.passes, subtrees=len(subtrees)
+            ) as pass_span:
+                select_start = time.perf_counter()
+                with tracer.span("dme.select"):
+                    pairs = selector.pairs_for_pass(subtrees)
+                stats.select_seconds += time.perf_counter() - select_start
+                if not pairs:
+                    raise RuntimeError("merging-order policy returned no pairs")
+                stats.passes += 1
+                pass_span.set(pairs=len(pairs))
+                merge_start = time.perf_counter()
+                with tracer.span("dme.merge") as merge_span:
+                    merged_indices = set()
+                    new_subtrees: List[Subtree] = []
+                    for index_a, index_b in pairs:
+                        sub_a = subtrees[index_a]
+                        sub_b = subtrees[index_b]
+                        # Spend any deferred cross-group freedom now that the
+                        # next merge partner is known (see repro.core.lazy_sdr).
+                        resolve_pending(
+                            sub_a, sub_b.locus, tech, tree, loci,
+                            max_deviation=self._skew_budget(sub_a, constraints),
+                        )
+                        resolve_pending(
+                            sub_b, sub_a.locus, tech, tree, loci,
+                            max_deviation=self._skew_budget(sub_b, constraints),
+                        )
+                        decision = plan_merge(
+                            sub_a,
+                            sub_b,
+                            constraints,
+                            tech,
+                            allow_snaking=self.config.allow_snaking,
+                        )
+                        node_id = tree.add_internal(
+                            children=[sub_a.node_id, sub_b.node_id],
+                            edge_lengths=[decision.edges.ea, decision.edges.eb],
+                        )
+                        loci[node_id] = decision.locus
+                        merged_subtree = Subtree(
+                            node_id=node_id,
+                            locus=decision.locus,
+                            cap=decision.cap,
+                            delays=decision.delays,
+                            num_sinks=sub_a.num_sinks + sub_b.num_sinks,
+                        )
+                        if decision.case == DISJOINT and not decision.edges.snaked:
+                            merged_subtree.pending = make_pending(
+                                sub_a, sub_b, decision.edges.distance, decision.edges.ea
+                            )
+                        new_subtrees.append(merged_subtree)
+                        stats.record(decision)
+                        self._record_association(association, sub_a, sub_b)
+                        merged_indices.add(index_a)
+                        merged_indices.add(index_b)
+                    subtrees = [
+                        s for i, s in enumerate(subtrees) if i not in merged_indices
+                    ] + new_subtrees
+                    merge_span.add("nodes_merged", len(merged_indices))
+                stats.merge_seconds += time.perf_counter() - merge_start
 
         root_subtree = subtrees[0]
         resolve_pending(
@@ -317,7 +326,9 @@ class AstDme:
 
         obstacles = instance.obstacle_set() if instance.has_obstacles else None
         embed_start = time.perf_counter()
-        stats.obstacle_detour = embed_tree(tree, loci, obstacles=obstacles)
+        with tracer.span("dme.embed") as embed_span:
+            stats.obstacle_detour = embed_tree(tree, loci, obstacles=obstacles)
+            embed_span.add("obstacle_detour", stats.obstacle_detour)
         stats.embed_seconds += time.perf_counter() - embed_start
         stats.neighbor_full_rebuilds = selector.full_rebuilds
         stats.neighbor_incremental_passes = selector.incremental_passes

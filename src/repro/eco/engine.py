@@ -65,6 +65,7 @@ from repro.delay.elmore import _arena_capacitances, _arena_delays
 from repro.eco.delta import EcoDelta, EcoDeltaError
 from repro.geometry.obstacles import ObstacleSet
 from repro.geometry.trr import Trr
+from repro.obs.trace import get_tracer
 from repro.opt.config import OptConfig
 
 __all__ = [
@@ -202,62 +203,65 @@ def eco_reroute(
 
     removed_ids = set(delta.remove)
     moved_ids = set(delta.moved_ids())
+    tracer = get_tracer()
 
     # ------------------------------------------------------------------
     # 1. Dirty nodes.
     # ------------------------------------------------------------------
-    base_ids = {s.sink_id for s in instance.sinks}
-    surviving = [s for s in new_instance.sinks if s.sink_id in base_ids]
-    added = [s for s in new_instance.sinks if s.sink_id not in base_ids]
-    partner_ids: Set[int] = set()
-    if surviving:
-        for sink in added:
-            partner = min(
-                surviving, key=lambda s: s.location.distance_to(sink.location)
-            )
-            partner_ids.add(partner.sink_id)
-
-    wanted = removed_ids | moved_ids | partner_ids
-    sink_nodes = _sink_nodes_by_id(tree, wanted)
-    missing = sorted(sid for sid in wanted if sid not in sink_nodes)
-    if missing:
-        raise ValueError(
-            "base tree has no sink-<id> node for sink ids %s; "
-            "ECO needs a tree built by the standard routers" % missing
-        )
-
-    dirty: Set[int] = {sink_nodes[sid] for sid in wanted}
-
-    if delta.add_blockages:
-        fresh = ObstacleSet(delta.add_blockages)
-        combined = new_instance.obstacle_set()
-        for node in tree.nodes():
-            if node.location is None:
-                raise ValueError(
-                    "base tree is not fully embedded (node %d has no location)"
-                    % node.node_id
+    with tracer.span("eco.cone") as cone_span:
+        base_ids = {s.sink_id for s in instance.sinks}
+        surviving = [s for s in new_instance.sinks if s.sink_id in base_ids]
+        added = [s for s in new_instance.sinks if s.sink_id not in base_ids]
+        partner_ids: Set[int] = set()
+        if surviving:
+            for sink in added:
+                partner = min(
+                    surviving, key=lambda s: s.location.distance_to(sink.location)
                 )
-            if fresh.blocks_point(node.location):
-                dirty.add(node.node_id)
-                continue
-            if node.parent is None:
-                continue
-            parent_location = tree.node(node.parent).location
-            detour = combined.detour_distance(parent_location, node.location)
-            if node.edge_length + _DETOUR_TOL < detour:
-                dirty.add(node.node_id)
+                partner_ids.add(partner.sink_id)
 
-    # ------------------------------------------------------------------
-    # 2. Dirty cone: the dirty nodes and all their ancestors.  The source is
-    #    always rebuilt (its child edge is re-resolved against the new root
-    #    subtree), so it seeds the cone even for an empty delta.
-    # ------------------------------------------------------------------
-    cone: Set[int] = {tree.root().node_id}
-    for nid in dirty:
-        for ancestor in tree.path_to_root(nid):
-            if ancestor in cone:
-                break
-            cone.add(ancestor)
+        wanted = removed_ids | moved_ids | partner_ids
+        sink_nodes = _sink_nodes_by_id(tree, wanted)
+        missing = sorted(sid for sid in wanted if sid not in sink_nodes)
+        if missing:
+            raise ValueError(
+                "base tree has no sink-<id> node for sink ids %s; "
+                "ECO needs a tree built by the standard routers" % missing
+            )
+
+        dirty: Set[int] = {sink_nodes[sid] for sid in wanted}
+
+        if delta.add_blockages:
+            fresh = ObstacleSet(delta.add_blockages)
+            combined = new_instance.obstacle_set()
+            for node in tree.nodes():
+                if node.location is None:
+                    raise ValueError(
+                        "base tree is not fully embedded (node %d has no location)"
+                        % node.node_id
+                    )
+                if fresh.blocks_point(node.location):
+                    dirty.add(node.node_id)
+                    continue
+                if node.parent is None:
+                    continue
+                parent_location = tree.node(node.parent).location
+                detour = combined.detour_distance(parent_location, node.location)
+                if node.edge_length + _DETOUR_TOL < detour:
+                    dirty.add(node.node_id)
+
+        # ------------------------------------------------------------------
+        # 2. Dirty cone: the dirty nodes and all their ancestors.  The source is
+        #    always rebuilt (its child edge is re-resolved against the new root
+        #    subtree), so it seeds the cone even for an empty delta.
+        # ------------------------------------------------------------------
+        cone: Set[int] = {tree.root().node_id}
+        for nid in dirty:
+            for ancestor in tree.path_to_root(nid):
+                if ancestor in cone:
+                    break
+                cone.add(ancestor)
+        cone_span.set(dirty=len(dirty), cone=len(cone))
 
     # ------------------------------------------------------------------
     # 3. Frontier: maximal clean subtrees, copied verbatim and summarised as
@@ -265,89 +269,91 @@ def eco_reroute(
     # ------------------------------------------------------------------
     # Node ids are assigned in insertion order, so sorting reproduces the
     # deterministic enumeration order of a full tree scan without paying O(n).
-    frontier = sorted(
-        child_id
-        for nid in cone
-        for child_id in tree.node(nid).children
-        if child_id not in cone
-    )
-
-    new_tree = ClockTree(technology=tech)
-    new_loci: Dict[int, Trr] = {}
-    subtrees: List[Subtree] = []
-    preserved_roots: Dict[int, int] = {}
-    reused = 0
-    stub_data = _frontier_stub_data(tree, frontier, single_group)
-    base_loci = base.loci
-    for fid, (cap, intervals, num_sinks) in zip(frontier, stub_data):
-        frontier_node = tree.node(fid)
-        if frontier_node.location is None:
-            raise ValueError(
-                "base tree is not fully embedded (node %d has no location)" % fid
-            )
-        id_map = new_tree.copy_subtree_from(tree, fid)
-        reused += len(id_map)
-        preserved_roots[fid] = id_map[fid]
-        for old_id, new_id in id_map.items():
-            locus = base_loci.get(old_id)
-            if locus is not None:
-                new_loci[new_id] = locus
-        subtrees.append(
-            Subtree(
-                node_id=id_map[fid],
-                locus=Trr.from_point(frontier_node.location),
-                cap=cap,
-                delays=intervals,
-                num_sinks=num_sinks,
-            )
+    with tracer.span("eco.stitch") as stitch_span:
+        frontier = sorted(
+            child_id
+            for nid in cone
+            for child_id in tree.node(nid).children
+            if child_id not in cone
         )
 
-    # Sinks that must be (re)created: added sinks, moved sinks, and clean-id
-    # sinks the blockage scan displaced (inside a new blockage is impossible
-    # -- delta.apply rejects that -- but a sink whose edge needs a detour
-    # rebuild lands here).
-    recreate: Set[int] = set(moved_ids)
-    for nid in dirty:
-        node = tree.node(nid)
-        if not node.is_sink:
-            continue
-        name = node.name or ""
-        try:
-            sid = int(name[5:]) if name.startswith("sink-") else None
-        except ValueError:
-            sid = None
-        if sid is None:
-            raise ValueError(
-                "dirty sink node %d has non-standard name %r; "
-                "ECO needs a tree built by the standard routers" % (nid, name)
+        new_tree = ClockTree(technology=tech)
+        new_loci: Dict[int, Trr] = {}
+        subtrees: List[Subtree] = []
+        preserved_roots: Dict[int, int] = {}
+        reused = 0
+        stub_data = _frontier_stub_data(tree, frontier, single_group)
+        base_loci = base.loci
+        for fid, (cap, intervals, num_sinks) in zip(frontier, stub_data):
+            frontier_node = tree.node(fid)
+            if frontier_node.location is None:
+                raise ValueError(
+                    "base tree is not fully embedded (node %d has no location)" % fid
+                )
+            id_map = new_tree.copy_subtree_from(tree, fid)
+            reused += len(id_map)
+            preserved_roots[fid] = id_map[fid]
+            for old_id, new_id in id_map.items():
+                locus = base_loci.get(old_id)
+                if locus is not None:
+                    new_loci[new_id] = locus
+            subtrees.append(
+                Subtree(
+                    node_id=id_map[fid],
+                    locus=Trr.from_point(frontier_node.location),
+                    cap=cap,
+                    delays=intervals,
+                    num_sinks=num_sinks,
+                )
             )
-        if sid not in removed_ids:
-            recreate.add(sid)
-    for sink in new_instance.sinks:
-        if sink.sink_id in base_ids and sink.sink_id not in recreate:
-            continue
-        node_id = new_tree.add_sink(
-            location=sink.location,
-            sink_cap=sink.cap,
-            group=sink.group,
-            name="sink-%d" % sink.sink_id,
-        )
-        routing_group = 0 if single_group else sink.group
-        subtrees.append(
-            Subtree.for_sink(
-                node_id=node_id,
-                locus=Trr.from_point(sink.location),
-                cap=sink.cap,
-                group=routing_group,
-            )
-        )
 
-    total_sinks = sum(sub.num_sinks for sub in subtrees)
-    if total_sinks != new_instance.num_sinks:
-        raise RuntimeError(
-            "ECO stitching lost sinks: stubs cover %d of %d"
-            % (total_sinks, new_instance.num_sinks)
-        )
+        # Sinks that must be (re)created: added sinks, moved sinks, and clean-id
+        # sinks the blockage scan displaced (inside a new blockage is impossible
+        # -- delta.apply rejects that -- but a sink whose edge needs a detour
+        # rebuild lands here).
+        recreate: Set[int] = set(moved_ids)
+        for nid in dirty:
+            node = tree.node(nid)
+            if not node.is_sink:
+                continue
+            name = node.name or ""
+            try:
+                sid = int(name[5:]) if name.startswith("sink-") else None
+            except ValueError:
+                sid = None
+            if sid is None:
+                raise ValueError(
+                    "dirty sink node %d has non-standard name %r; "
+                    "ECO needs a tree built by the standard routers" % (nid, name)
+                )
+            if sid not in removed_ids:
+                recreate.add(sid)
+        for sink in new_instance.sinks:
+            if sink.sink_id in base_ids and sink.sink_id not in recreate:
+                continue
+            node_id = new_tree.add_sink(
+                location=sink.location,
+                sink_cap=sink.cap,
+                group=sink.group,
+                name="sink-%d" % sink.sink_id,
+            )
+            routing_group = 0 if single_group else sink.group
+            subtrees.append(
+                Subtree.for_sink(
+                    node_id=node_id,
+                    locus=Trr.from_point(sink.location),
+                    cap=sink.cap,
+                    group=routing_group,
+                )
+            )
+
+        total_sinks = sum(sub.num_sinks for sub in subtrees)
+        if total_sinks != new_instance.num_sinks:
+            raise RuntimeError(
+                "ECO stitching lost sinks: stubs cover %d of %d"
+                % (total_sinks, new_instance.num_sinks)
+            )
+        stitch_span.set(frontier=len(frontier), reused=reused)
 
     # ------------------------------------------------------------------
     # 4. Re-merge the frontier with the standard bottom-up DME loop, then
@@ -367,59 +373,61 @@ def eco_reroute(
         tightest = min(constraints.bound_for(group) for group in sub.delays)
         return budget_fraction * tightest
 
-    while len(subtrees) > 1:
-        select_start = time.perf_counter()
-        pairs = selector.pairs_for_pass(subtrees)
-        stats.select_seconds += time.perf_counter() - select_start
-        if not pairs:
-            raise RuntimeError("merging-order policy returned no pairs")
-        stats.passes += 1
-        merge_start = time.perf_counter()
-        merged_indices: Set[int] = set()
-        new_subtrees: List[Subtree] = []
-        for index_a, index_b in pairs:
-            sub_a = subtrees[index_a]
-            sub_b = subtrees[index_b]
-            _resolve_pending_fast(
-                sub_a, sub_b.locus, tech, new_tree, new_loci,
-                max_deviation=skew_budget(sub_a),
-            )
-            _resolve_pending_fast(
-                sub_b, sub_a.locus, tech, new_tree, new_loci,
-                max_deviation=skew_budget(sub_b),
-            )
-            decision = plan_merge(
-                sub_a,
-                sub_b,
-                constraints,
-                tech,
-                allow_snaking=config.router.allow_snaking,
-            )
-            node_id = new_tree.add_internal(
-                children=[sub_a.node_id, sub_b.node_id],
-                edge_lengths=[decision.edges.ea, decision.edges.eb],
-            )
-            new_loci[node_id] = decision.locus
-            merged_subtree = Subtree(
-                node_id=node_id,
-                locus=decision.locus,
-                cap=decision.cap,
-                delays=decision.delays,
-                num_sinks=sub_a.num_sinks + sub_b.num_sinks,
-            )
-            if decision.case == DISJOINT and not decision.edges.snaked:
-                merged_subtree.pending = make_pending(
-                    sub_a, sub_b, decision.edges.distance, decision.edges.ea
+    with tracer.span("eco.remerge") as remerge_span:
+        while len(subtrees) > 1:
+            select_start = time.perf_counter()
+            pairs = selector.pairs_for_pass(subtrees)
+            stats.select_seconds += time.perf_counter() - select_start
+            if not pairs:
+                raise RuntimeError("merging-order policy returned no pairs")
+            stats.passes += 1
+            merge_start = time.perf_counter()
+            merged_indices: Set[int] = set()
+            new_subtrees: List[Subtree] = []
+            for index_a, index_b in pairs:
+                sub_a = subtrees[index_a]
+                sub_b = subtrees[index_b]
+                _resolve_pending_fast(
+                    sub_a, sub_b.locus, tech, new_tree, new_loci,
+                    max_deviation=skew_budget(sub_a),
                 )
-            new_subtrees.append(merged_subtree)
-            stats.record(decision)
-            _record_association(association, sub_a, sub_b)
-            merged_indices.add(index_a)
-            merged_indices.add(index_b)
-        subtrees = [
-            s for i, s in enumerate(subtrees) if i not in merged_indices
-        ] + new_subtrees
-        stats.merge_seconds += time.perf_counter() - merge_start
+                _resolve_pending_fast(
+                    sub_b, sub_a.locus, tech, new_tree, new_loci,
+                    max_deviation=skew_budget(sub_b),
+                )
+                decision = plan_merge(
+                    sub_a,
+                    sub_b,
+                    constraints,
+                    tech,
+                    allow_snaking=config.router.allow_snaking,
+                )
+                node_id = new_tree.add_internal(
+                    children=[sub_a.node_id, sub_b.node_id],
+                    edge_lengths=[decision.edges.ea, decision.edges.eb],
+                )
+                new_loci[node_id] = decision.locus
+                merged_subtree = Subtree(
+                    node_id=node_id,
+                    locus=decision.locus,
+                    cap=decision.cap,
+                    delays=decision.delays,
+                    num_sinks=sub_a.num_sinks + sub_b.num_sinks,
+                )
+                if decision.case == DISJOINT and not decision.edges.snaked:
+                    merged_subtree.pending = make_pending(
+                        sub_a, sub_b, decision.edges.distance, decision.edges.ea
+                    )
+                new_subtrees.append(merged_subtree)
+                stats.record(decision)
+                _record_association(association, sub_a, sub_b)
+                merged_indices.add(index_a)
+                merged_indices.add(index_b)
+            subtrees = [
+                s for i, s in enumerate(subtrees) if i not in merged_indices
+            ] + new_subtrees
+            stats.merge_seconds += time.perf_counter() - merge_start
+        remerge_span.set(passes=stats.passes)
 
     root_subtree = subtrees[0]
     _resolve_pending_fast(
@@ -435,7 +443,10 @@ def eco_reroute(
 
     obstacles = new_instance.obstacle_set() if new_instance.has_obstacles else None
     embed_start = time.perf_counter()
-    stats.obstacle_detour = embed_new_nodes(new_tree, new_loci, obstacles=obstacles)
+    with tracer.span("eco.embed"):
+        stats.obstacle_detour = embed_new_nodes(
+            new_tree, new_loci, obstacles=obstacles
+        )
     stats.embed_seconds += time.perf_counter() - embed_start
     stats.neighbor_full_rebuilds = selector.full_rebuilds
     stats.neighbor_incremental_passes = selector.incremental_passes
@@ -444,9 +455,11 @@ def eco_reroute(
     # stitched result must see it, exactly as it would on the base.
     stats.max_violation = max(stats.max_violation, base.stats.max_violation)
 
-    opt_report, repaired = _repair_if_violating(
-        new_tree, config, constraints, obstacles, new_loci, single_group
-    )
+    with tracer.span("eco.repair") as repair_span:
+        opt_report, repaired = _repair_if_violating(
+            new_tree, config, constraints, obstacles, new_loci, single_group
+        )
+        repair_span.set(repaired=repaired)
 
     eco_stats = EcoStats(
         sinks_added=len(delta.add),

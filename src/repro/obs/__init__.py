@@ -1,0 +1,58 @@
+"""Unified observability: span tracing, metrics and trace summaries.
+
+One structured account of where time and memory go, shared by every layer:
+
+* :mod:`repro.obs.trace` -- the process-wide span tracer.  Instrumentation
+  sites call :func:`span`/:func:`add`; with tracing off (the default) both
+  are no-ops and routed results stay bit-identical.  ``run(spec,
+  trace=True)``, ``--trace-out`` and the service's ``X-Repro-Trace`` header
+  capture per-run NDJSON traces through scoped sessions.
+* :mod:`repro.obs.metrics` -- counters, gauges and fixed-bucket histograms
+  with Prometheus text exposition; what the service's ``GET /metrics``
+  endpoint serves.
+* :mod:`repro.obs.summarize` -- NDJSON trace aggregation behind
+  ``repro trace summarize``.
+
+See ``docs/observability.md`` for the span model, the attribute schema and
+the metric names.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.summarize import format_summary, load_ndjson, summarize_events
+from repro.obs.trace import (
+    StageSpans,
+    TraceSession,
+    Tracer,
+    add,
+    get_tracer,
+    span,
+    write_ndjson,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_exposition",
+    "StageSpans",
+    "TraceSession",
+    "Tracer",
+    "add",
+    "get_tracer",
+    "span",
+    "write_ndjson",
+    "format_summary",
+    "load_ndjson",
+    "summarize_events",
+]

@@ -1,0 +1,141 @@
+"""Aggregating an NDJSON trace into a per-span-name table.
+
+``repro trace summarize FILE`` renders what this module computes: one row
+per span name with call count, cumulative seconds (time with the span open),
+self seconds (cumulative minus the cumulative time of direct children --
+where the span itself spent its time), and exact p50/p99 per-span durations.
+
+The input is the NDJSON written by ``--trace-out`` /
+:meth:`~repro.obs.trace.Tracer.export_ndjson`: one JSON object per line with
+at least ``name``, ``span_id`` and ``seconds``; ``parent_id`` (null for
+roots) drives the self-time attribution.  Unknown extra keys are ignored, so
+traces from newer writers keep summarizing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Union
+
+__all__ = ["load_ndjson", "summarize_events", "format_summary"]
+
+#: Keys an event must carry to be summarizable.
+REQUIRED_KEYS = ("name", "span_id", "seconds")
+
+
+def load_ndjson(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Parse an NDJSON trace file (path or text file object).
+
+    Raises ``ValueError`` naming the offending line on malformed JSON or on
+    events missing the required keys, so ``repro trace summarize`` surfaces
+    one clean error instead of a traceback.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                "trace line %d is not valid JSON: %s" % (lineno, exc)
+            ) from exc
+        if not isinstance(event, dict):
+            raise ValueError("trace line %d is not a JSON object" % lineno)
+        missing = [key for key in REQUIRED_KEYS if key not in event]
+        if missing:
+            raise ValueError(
+                "trace line %d misses required keys %s" % (lineno, missing)
+            )
+        events.append(event)
+    return events
+
+
+def _percentile(sorted_samples: List[float], fraction: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    rank = min(
+        len(sorted_samples) - 1,
+        max(0, int(round(fraction * (len(sorted_samples) - 1)))),
+    )
+    return sorted_samples[rank]
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate events into per-name rows, heaviest cumulative time first.
+
+    Row keys: ``name``, ``count``, ``cumulative_seconds``, ``self_seconds``,
+    ``p50_seconds``, ``p99_seconds``, ``mean_seconds``.
+    """
+    events = list(events)
+    # Self time: a span's own duration minus its direct children's durations.
+    child_seconds: Dict[Any, float] = {}
+    for event in events:
+        parent = event.get("parent_id")
+        if parent is not None:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + float(
+                event["seconds"]
+            )
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        name = str(event["name"])
+        seconds = float(event["seconds"])
+        row = by_name.get(name)
+        if row is None:
+            row = by_name[name] = {
+                "name": name,
+                "count": 0,
+                "cumulative_seconds": 0.0,
+                "self_seconds": 0.0,
+                "_durations": [],
+            }
+        row["count"] += 1
+        row["cumulative_seconds"] += seconds
+        # Clamp at zero: clock granularity can make children sum to slightly
+        # more than the parent's own measurement.
+        row["self_seconds"] += max(
+            0.0, seconds - child_seconds.get(event["span_id"], 0.0)
+        )
+        row["_durations"].append(seconds)
+    rows = []
+    for row in by_name.values():
+        durations = sorted(row.pop("_durations"))
+        row["p50_seconds"] = _percentile(durations, 0.50)
+        row["p99_seconds"] = _percentile(durations, 0.99)
+        row["mean_seconds"] = sum(durations) / len(durations)
+        rows.append(row)
+    rows.sort(key=lambda r: (-r["cumulative_seconds"], r["name"]))
+    return rows
+
+
+def format_summary(rows: List[Dict[str, Any]]) -> str:
+    """The human-readable table ``repro trace summarize`` prints."""
+    if not rows:
+        return "(empty trace)"
+    name_width = max(len("span"), max(len(row["name"]) for row in rows))
+    header = "%-*s %8s %12s %12s %10s %10s" % (
+        name_width, "span", "count", "cum (s)", "self (s)", "p50 (ms)", "p99 (ms)",
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-*s %8d %12.4f %12.4f %10.3f %10.3f"
+            % (
+                name_width,
+                row["name"],
+                row["count"],
+                row["cumulative_seconds"],
+                row["self_seconds"],
+                1000.0 * row["p50_seconds"],
+                1000.0 * row["p99_seconds"],
+            )
+        )
+    total = sum(row["self_seconds"] for row in rows)
+    lines.append("-" * len(header))
+    lines.append("%-*s %8s %12.4f" % (name_width, "total self", "", total))
+    return "\n".join(lines)

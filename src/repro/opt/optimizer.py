@@ -16,6 +16,7 @@ from repro.delay.rc_tree import oracle_delays
 from repro.delay.technology import Technology
 from repro.geometry.obstacles import ObstacleSet
 from repro.geometry.trr import Trr
+from repro.obs.trace import get_tracer
 from repro.opt.base import OptContext, OptPass, get_pass
 from repro.opt.config import OptConfig
 from repro.opt.report import OptReport
@@ -101,22 +102,31 @@ class Optimizer:
         )
         report.skew_violations_before = ctx.skew_violations(delays)
 
+        tracer = get_tracer()
         for iteration in range(self.config.max_iterations):
             report.iterations = iteration + 1
             anything_changed = False
             for opt_pass in self._passes:
-                snapshot = _snapshot(tree)
-                spent_before = ctx.wire_net_added
-                before = _quality(ctx)
-                outcome = opt_pass.run(ctx, iteration)
-                if outcome.changed and not _acceptable(before, _quality(ctx)):
-                    # A pass may never degrade the tree: restore and move on.
-                    # (Recovery's conservative trim guards, for instance, use
-                    # the pre-trim group roofs, which its own trims lower.)
-                    _restore(tree, snapshot)
-                    ctx.invalidate_geometry()
-                    ctx.wire_net_added = spent_before
-                    outcome.reverted = True
+                with tracer.span(
+                    "opt.pass", pass_name=opt_pass.name, iteration=iteration
+                ) as pass_span:
+                    snapshot = _snapshot(tree)
+                    spent_before = ctx.wire_net_added
+                    before = _quality(ctx)
+                    outcome = opt_pass.run(ctx, iteration)
+                    if outcome.changed and not _acceptable(before, _quality(ctx)):
+                        # A pass may never degrade the tree: restore and move
+                        # on.  (Recovery's conservative trim guards, for
+                        # instance, use the pre-trim group roofs, which its
+                        # own trims lower.)
+                        _restore(tree, snapshot)
+                        ctx.invalidate_geometry()
+                        ctx.wire_net_added = spent_before
+                        outcome.reverted = True
+                    pass_span.set(
+                        changed=outcome.changed, reverted=outcome.reverted
+                    )
+                if outcome.reverted:
                     report.passes.append(outcome)
                     continue
                 report.passes.append(outcome)

@@ -81,14 +81,19 @@ class ServiceClient:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _request_json(
-        self, method: str, path: str, payload: Optional[Any] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Any] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         connection = self._connect()
         try:
             body = None if payload is None else json.dumps(payload).encode("utf-8")
-            connection.request(
-                method, path, body=body, headers={"Content-Type": "application/json"}
-            )
+            request_headers = {"Content-Type": "application/json"}
+            if headers:
+                request_headers.update(headers)
+            connection.request(method, path, body=body, headers=request_headers)
             response = connection.getresponse()
             data = response.read()
             parsed = self._parse_body(response.status, data)
@@ -120,23 +125,55 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request_json("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The Prometheus text exposition document from ``GET /metrics``."""
+        connection = self._connect()
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status, data.decode("utf-8", "replace")
+                )
+            return data.decode("utf-8")
+        finally:
+            connection.close()
+
     def clear_cache(self) -> int:
         """Invalidate every cached result; returns the number removed."""
         return int(self._request_json("POST", "/cache/clear")["cleared"])
 
-    def route(self, spec: Union[RunSpec, Dict[str, Any]]) -> RouteResponse:
-        """Route one spec (cache-first on the server side)."""
-        payload = self._request_json("POST", "/route", _spec_dict(spec))
+    def route(
+        self, spec: Union[RunSpec, Dict[str, Any]], trace: bool = False
+    ) -> RouteResponse:
+        """Route one spec (cache-first on the server side).
+
+        ``trace=True`` sets the ``X-Repro-Trace`` header: a cache miss
+        computes with span tracing on and ``result.trace`` carries the NDJSON
+        events (cache hits return no trace).
+        """
+        payload = self._request_json(
+            "POST", "/route", _spec_dict(spec),
+            headers={"X-Repro-Trace": "1"} if trace else None,
+        )
         return RouteResponse(
             key=payload["key"],
             cached=bool(payload["cached"]),
             result=RunResult.from_dict(payload["result"]),
         )
 
-    def eco(self, spec: Union[EcoSpec, Dict[str, Any]]) -> EcoResponse:
-        """Incrementally re-route one delta (cache-first on the server side)."""
+    def eco(
+        self, spec: Union[EcoSpec, Dict[str, Any]], trace: bool = False
+    ) -> EcoResponse:
+        """Incrementally re-route one delta (cache-first on the server side).
+
+        ``trace`` works exactly like :meth:`route`'s.
+        """
         payload = self._request_json(
-            "POST", "/eco", spec.to_dict() if isinstance(spec, EcoSpec) else dict(spec)
+            "POST", "/eco",
+            spec.to_dict() if isinstance(spec, EcoSpec) else dict(spec),
+            headers={"X-Repro-Trace": "1"} if trace else None,
         )
         return EcoResponse(
             key=payload["key"],

@@ -44,10 +44,10 @@ import asyncio
 import json
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -56,6 +56,7 @@ from repro.api.eco import EcoResult, EcoSpec, run_eco_safe
 from repro.api.registry import available_routers, router_description
 from repro.api.runner import run_safe
 from repro.api.spec import RunResult, RunSpec
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.service.cache import RunCache
 
 __all__ = ["ServiceConfig", "RoutingService", "RoutingServer", "ServerThread", "serve"]
@@ -65,6 +66,26 @@ __all__ = ["ServiceConfig", "RoutingService", "RoutingServer", "ServerThread", "
 MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Hard ceiling on header lines per request.
 MAX_HEADER_LINES = 100
+
+
+def _peak_rss() -> float:
+    from repro.metrics import peak_rss_mb
+
+    return peak_rss_mb()
+
+
+def _strip_trace(result):
+    """A shallow copy of a Run/EcoResult without its span trace.
+
+    Cached entries never carry traces: a trace describes one compute, not
+    the spec's content-addressed identity, and replaying it on a cache hit
+    would misreport where time went.
+    """
+    import copy
+
+    stripped = copy.copy(result)
+    stripped.trace = []
+    return stripped
 
 
 class _HttpError(Exception):
@@ -102,56 +123,127 @@ class ServiceConfig:
     base_routing_capacity: int = 8
 
 
-def _percentile(samples: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted sample list."""
-    if not samples:
-        return 0.0
-    rank = min(len(samples) - 1, max(0, int(round(fraction * (len(samples) - 1)))))
-    return samples[rank]
+#: Endpoints with per-endpoint latency histograms (``repro_request_seconds``).
+_TIMED_ENDPOINTS = ("route", "eco", "batch")
 
 
-@dataclass
-class _ServerStats:
-    """Request counters of the HTTP layer (latencies in seconds)."""
+class ServerMetrics:
+    """Request accounting of the HTTP layer, backed by a metrics registry.
 
-    started: float = field(default_factory=time.time)
-    requests: int = 0
-    route_requests: int = 0
-    batch_requests: int = 0
-    batch_runs: int = 0
-    route_hits: int = 0
-    route_misses: int = 0
-    eco_requests: int = 0
-    eco_hits: int = 0
-    eco_misses: int = 0
-    #: /eco misses that reused an in-memory base routing (no full re-route).
-    eco_base_reuses: int = 0
-    client_errors: int = 0
-    server_errors: int = 0
-    #: Wall time of the most recent /route requests (cache hits and misses).
-    route_latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+    The successor of the old ``_ServerStats`` counter dataclass: every number
+    the JSON ``/stats`` endpoint reports now lives as a named metric in
+    ``self.registry`` -- and is therefore also scrapeable in Prometheus text
+    form from ``GET /metrics``.  :meth:`to_dict` renders the exact legacy
+    ``/stats`` JSON shape from the registry (counters plus nearest-rank
+    p50/p99 over each endpoint's recent requests) and adds a per-endpoint
+    latency block.
+    """
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        registry = self.registry = MetricsRegistry()
+        self._requests = registry.counter(
+            "repro_http_requests_total", "HTTP requests received (any endpoint)"
+        )
+        self._endpoint_requests = registry.counter(
+            "repro_endpoint_requests_total",
+            "Requests per service endpoint",
+            labelnames=("endpoint",),
+        )
+        self._cache_outcomes = registry.counter(
+            "repro_endpoint_cache_total",
+            "Content-addressed cache hits and misses per cached endpoint",
+            labelnames=("endpoint", "outcome"),
+        )
+        self._errors = registry.counter(
+            "repro_http_errors_total",
+            "Error responses by class (client = 4xx, server = 5xx)",
+            labelnames=("kind",),
+        )
+        self._batch_runs = registry.counter(
+            "repro_batch_runs_total", "Run specs received via POST /batch"
+        )
+        self._eco_base_reuses = registry.counter(
+            "repro_eco_base_reuses_total",
+            "/eco misses that reused an in-memory base routing",
+        )
+        self._latency = registry.histogram(
+            "repro_request_seconds",
+            "Request wall time per endpoint, seconds",
+            labelnames=("endpoint",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since the server started",
+            callback=lambda: time.time() - self.started,
+        )
+
+    # ------------------------------------------------------------------
+    def record_request(self) -> None:
+        self._requests.inc()
+
+    def record_endpoint(self, endpoint: str) -> None:
+        self._endpoint_requests.labels(endpoint=endpoint).inc()
+
+    def record_cache(self, endpoint: str, hit: bool) -> None:
+        outcome = "hit" if hit else "miss"
+        self._cache_outcomes.labels(endpoint=endpoint, outcome=outcome).inc()
+
+    def observe_latency(self, endpoint: str, seconds: float) -> None:
+        self._latency.labels(endpoint=endpoint).observe(seconds)
+
+    def record_client_error(self) -> None:
+        self._errors.labels(kind="client").inc()
+
+    def record_server_error(self) -> None:
+        self._errors.labels(kind="server").inc()
+
+    def record_batch_runs(self, count: int) -> None:
+        self._batch_runs.inc(count)
+
+    def record_eco_base_reuse(self) -> None:
+        self._eco_base_reuses.inc()
+
+    # ------------------------------------------------------------------
+    def _endpoint_count(self, endpoint: str) -> int:
+        return int(self._endpoint_requests.labels(endpoint=endpoint).value)
+
+    def _cache_count(self, endpoint: str, outcome: str) -> int:
+        return int(
+            self._cache_outcomes.labels(endpoint=endpoint, outcome=outcome).value
+        )
+
+    def _latency_block(self, endpoint: str) -> Dict[str, float]:
+        histogram = self._latency.labels(endpoint=endpoint)
+        return {
+            "count": histogram.recent_count(),
+            "p50_ms": 1000.0 * histogram.percentile(0.50),
+            "p99_ms": 1000.0 * histogram.percentile(0.99),
+            "mean_ms": 1000.0 * histogram.mean_recent(),
+        }
 
     def to_dict(self) -> Dict[str, Any]:
-        latencies = sorted(self.route_latencies)
         return {
             "uptime_seconds": time.time() - self.started,
-            "requests": self.requests,
-            "route_requests": self.route_requests,
-            "batch_requests": self.batch_requests,
-            "batch_runs": self.batch_runs,
-            "route_hits": self.route_hits,
-            "route_misses": self.route_misses,
-            "eco_requests": self.eco_requests,
-            "eco_hits": self.eco_hits,
-            "eco_misses": self.eco_misses,
-            "eco_base_reuses": self.eco_base_reuses,
-            "client_errors": self.client_errors,
-            "server_errors": self.server_errors,
-            "latency": {
-                "count": len(latencies),
-                "p50_ms": 1000.0 * _percentile(latencies, 0.50),
-                "p99_ms": 1000.0 * _percentile(latencies, 0.99),
-                "mean_ms": 1000.0 * (sum(latencies) / len(latencies)) if latencies else 0.0,
+            "requests": int(self._requests.value),
+            "route_requests": self._endpoint_count("route"),
+            "batch_requests": self._endpoint_count("batch"),
+            "batch_runs": int(self._batch_runs.value),
+            "route_hits": self._cache_count("route", "hit"),
+            "route_misses": self._cache_count("route", "miss"),
+            "eco_requests": self._endpoint_count("eco"),
+            "eco_hits": self._cache_count("eco", "hit"),
+            "eco_misses": self._cache_count("eco", "miss"),
+            "eco_base_reuses": int(self._eco_base_reuses.value),
+            "client_errors": int(self._errors.labels(kind="client").value),
+            "server_errors": int(self._errors.labels(kind="server").value),
+            # Kept for compatibility: the pre-metrics "latency" block tracked
+            # /route wall times; per-endpoint blocks live under "endpoints".
+            "latency": self._latency_block("route"),
+            "endpoints": {
+                endpoint: self._latency_block(endpoint)
+                for endpoint in _TIMED_ENDPOINTS
             },
         }
 
@@ -181,7 +273,23 @@ class RoutingService:
         # Base RoutingResults (full trees) for /eco, LRU by base cache key.
         self._base_routings: "OrderedDict[str, Any]" = OrderedDict()
         self._base_lock = threading.Lock()
-        self.stats = _ServerStats()
+        self.stats = ServerMetrics()
+        # Scrape-time gauges over state the service already tracks.
+        self.stats.registry.gauge(
+            "repro_base_routings",
+            "Base RoutingResults held in memory for POST /eco",
+            callback=lambda: len(self._base_routings),
+        )
+        self.stats.registry.gauge(
+            "repro_cache_memory_entries",
+            "Entries in the run cache's memory tier",
+            callback=lambda: self.cache.stats().memory_entries,
+        )
+        self.stats.registry.gauge(
+            "repro_peak_rss_mb",
+            "Process peak resident set size, MiB",
+            callback=_peak_rss,
+        )
         self._semaphore = asyncio.Semaphore(max(1, config.max_concurrency))
         # Executor threads block on the process pool / BatchRunner, so size
         # past the semaphore to keep a slot free for batch drivers.
@@ -219,24 +327,38 @@ class RoutingService:
                 self._pool_broken = True
         return run_safe(spec)
 
-    async def route_one(self, spec: RunSpec) -> Tuple[str, bool, RunResult]:
-        """Cache-first single-spec routing: ``(key, cached, result)``."""
+    async def route_one(
+        self, spec: RunSpec, trace: bool = False
+    ) -> Tuple[str, bool, RunResult]:
+        """Cache-first single-spec routing: ``(key, cached, result)``.
+
+        ``trace`` (the ``X-Repro-Trace`` request header) records a span trace
+        of the compute and attaches it to the response's result.  Traced
+        computes always run in the executor thread, never the process pool
+        (spans cannot cross a process boundary), and the cache stores a
+        trace-stripped copy -- a later cache hit carries no trace.
+        """
         key = spec.cache_key()
         cached = self.cache.get(key)
         if cached is not None:
             return key, True, cached
         loop = asyncio.get_running_loop()
         async with self._semaphore:
-            result = await loop.run_in_executor(
-                self._threads, self._run_one_blocking, spec
-            )
+            if trace:
+                result = await loop.run_in_executor(
+                    self._threads, lambda: run_safe(spec, trace=True)
+                )
+            else:
+                result = await loop.run_in_executor(
+                    self._threads, self._run_one_blocking, spec
+                )
         # Errored runs are not cached: errors may be transient (a worker OOM
         # kill) and must not be served forever after.
         if result.error is None:
-            self.cache.put(key, result)
+            self.cache.put(key, _strip_trace(result) if result.trace else result)
         return key, False, result
 
-    def _run_eco_blocking(self, spec: EcoSpec) -> EcoResult:
+    def _run_eco_blocking(self, spec: EcoSpec, trace: bool = False) -> EcoResult:
         """ECO one spec (called from an executor thread, never the loop).
 
         ECO computes stay in-process: the base routing LRU holds live
@@ -250,7 +372,7 @@ class RoutingService:
             if routing is not None:
                 self._base_routings.move_to_end(base_key)
         if routing is not None:
-            self.stats.eco_base_reuses += 1
+            self.stats.record_eco_base_reuse()
         else:
             try:
                 from repro.api.runner import run
@@ -269,10 +391,16 @@ class RoutingService:
                 self._base_routings.move_to_end(base_key)
                 while len(self._base_routings) > max(1, self.config.base_routing_capacity):
                     self._base_routings.popitem(last=False)
-        return run_eco_safe(spec, base_routing=routing)
+        return run_eco_safe(spec, base_routing=routing, trace=trace)
 
-    async def eco_one(self, spec: EcoSpec) -> Tuple[str, bool, EcoResult]:
-        """Cache-first single-spec ECO: ``(key, cached, result)``."""
+    async def eco_one(
+        self, spec: EcoSpec, trace: bool = False
+    ) -> Tuple[str, bool, EcoResult]:
+        """Cache-first single-spec ECO: ``(key, cached, result)``.
+
+        ``trace`` works exactly like :meth:`route_one`'s: the response result
+        carries the span trace, the cache stores a stripped copy.
+        """
         key = spec.cache_key()
         cached = self.eco_cache.get(key)
         if cached is not None:
@@ -280,10 +408,10 @@ class RoutingService:
         loop = asyncio.get_running_loop()
         async with self._semaphore:
             result = await loop.run_in_executor(
-                self._threads, self._run_eco_blocking, spec
+                self._threads, self._run_eco_blocking, spec, trace
             )
         if result.error is None:
-            self.eco_cache.put(key, result)
+            self.eco_cache.put(key, _strip_trace(result) if result.trace else result)
         return key, False, result
 
     async def batch_events(self, specs: List[RunSpec]):
@@ -350,6 +478,10 @@ class RoutingService:
             # Same measurement path as RunResult.stats / the bench harness.
             "resources": {"peak_rss_mb": peak_rss_mb()},
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition document ``GET /metrics`` serves."""
+        return self.stats.registry.render()
 
     def clear_caches(self) -> int:
         """Drop every cached result (run + eco tiers) and base routing."""
@@ -448,18 +580,18 @@ class RoutingServer:
     ) -> None:
         try:
             try:
-                method, target, body = await self._read_request(reader)
+                method, target, body, headers = await self._read_request(reader)
             except _HttpError as exc:
-                self.service.stats.requests += 1
+                self.service.stats.record_request()
                 await self._send_error(writer, exc)
                 return
-            self.service.stats.requests += 1
+            self.service.stats.record_request()
             try:
-                await self._dispatch(writer, method, target, body)
+                await self._dispatch(writer, method, target, body, headers)
             except _HttpError as exc:
                 await self._send_error(writer, exc)
             except Exception as exc:  # noqa: BLE001 - a handler bug must 500, not kill the server
-                self.service.stats.server_errors += 1
+                self.service.stats.record_server_error()
                 await self._send_json(
                     writer, 500, {"error": "%s: %s" % (type(exc).__name__, exc)}
                 )
@@ -508,14 +640,17 @@ class RoutingServer:
                 body = await asyncio.wait_for(reader.readexactly(length), timeout)
             except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                 raise _HttpError(400, "request body shorter than Content-Length") from None
-        return method, target, body
+        return method, target, body, headers
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, writer, method: str, target: str, body: bytes) -> None:
+    async def _dispatch(
+        self, writer, method: str, target: str, body: bytes, headers: Dict[str, str]
+    ) -> None:
         path = target.split("?", 1)[0]
         stats = self.service.stats
+        trace = headers.get("x-repro-trace", "").lower() in ("1", "true", "yes", "on")
         if path == "/healthz":
             self._require(method, "GET", path)
             import repro
@@ -527,39 +662,38 @@ class RoutingServer:
         elif path == "/stats":
             self._require(method, "GET", path)
             await self._send_json(writer, 200, self.service.stats_payload())
+        elif path == "/metrics":
+            self._require(method, "GET", path)
+            await self._send_text(writer, 200, self.service.metrics_text())
         elif path == "/route":
             self._require(method, "POST", path)
-            stats.route_requests += 1
+            stats.record_endpoint("route")
             spec = _parse_specs(body, batch=False)[0]
             started = time.perf_counter()
-            key, cached, result = await self.service.route_one(spec)
-            stats.route_latencies.append(time.perf_counter() - started)
-            if cached:
-                stats.route_hits += 1
-            else:
-                stats.route_misses += 1
+            key, cached, result = await self.service.route_one(spec, trace=trace)
+            stats.observe_latency("route", time.perf_counter() - started)
+            stats.record_cache("route", cached)
             await self._send_json(
                 writer, 200, {"key": key, "cached": cached, "result": result.to_dict()}
             )
         elif path == "/eco":
             self._require(method, "POST", path)
-            stats.eco_requests += 1
+            stats.record_endpoint("eco")
             spec = _parse_eco_spec(body)
             started = time.perf_counter()
-            key, cached, result = await self.service.eco_one(spec)
-            stats.route_latencies.append(time.perf_counter() - started)
-            if cached:
-                stats.eco_hits += 1
-            else:
-                stats.eco_misses += 1
+            key, cached, result = await self.service.eco_one(spec, trace=trace)
+            stats.observe_latency("eco", time.perf_counter() - started)
+            stats.record_cache("eco", cached)
             await self._send_json(
                 writer, 200, {"key": key, "cached": cached, "result": result.to_dict()}
             )
         elif path == "/batch":
             self._require(method, "POST", path)
-            stats.batch_requests += 1
+            stats.record_endpoint("batch")
             specs = _parse_specs(body, batch=True)
+            started = time.perf_counter()
             await self._stream_batch(writer, specs)
+            stats.observe_latency("batch", time.perf_counter() - started)
         elif path == "/cache/clear":
             self._require(method, "POST", path)
             removed = self.service.clear_caches()
@@ -595,7 +729,7 @@ class RoutingServer:
             )
             writer.write(line.encode("utf-8") + b"\n")
             await writer.drain()
-        self.service.stats.batch_runs += len(specs)
+        self.service.stats.record_batch_runs(len(specs))
         summary = json.dumps(
             {"done": True, "total": len(specs), "hits": hits, "misses": misses, "errors": errors},
             sort_keys=True,
@@ -614,22 +748,34 @@ class RoutingServer:
 
     async def _send_json(self, writer, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        await self._send_body(writer, status, "application/json", body)
+
+    async def _send_text(self, writer, status: int, text: str) -> None:
+        # The content type Prometheus scrapers expect for text exposition.
+        await self._send_body(
+            writer, status, "text/plain; version=0.0.4; charset=utf-8",
+            text.encode("utf-8"),
+        )
+
+    async def _send_body(
+        self, writer, status: int, content_type: str, body: bytes
+    ) -> None:
         reason = self._REASONS.get(status, "Unknown")
         head = (
             "HTTP/1.1 %d %s\r\n"
-            "Content-Type: application/json\r\n"
+            "Content-Type: %s\r\n"
             "Content-Length: %d\r\n"
             "Connection: close\r\n"
-            "\r\n" % (status, reason, len(body))
+            "\r\n" % (status, reason, content_type, len(body))
         )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
     async def _send_error(self, writer, exc: _HttpError) -> None:
         if 400 <= exc.status < 500:
-            self.service.stats.client_errors += 1
+            self.service.stats.record_client_error()
         else:
-            self.service.stats.server_errors += 1
+            self.service.stats.record_server_error()
         await self._send_json(writer, exc.status, {"error": exc.message})
 
 

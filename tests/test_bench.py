@@ -247,7 +247,11 @@ class TestCli:
         validate_bench_payload(payload)
         assert payload["suite"] == "scaling"
         assert payload["smoke"] is True
-        assert "wrote %s" % out in capsys.readouterr().out
+        captured = capsys.readouterr()
+        # The row table is the report (stdout); "wrote FILE" is a progress
+        # note and lives on stderr since the OutputWriter split.
+        assert "label" in captured.out
+        assert "wrote %s" % out in captured.err
 
     def test_bench_service_smoke_cli(self, tmp_path, capsys):
         out = tmp_path / "BENCH_service.json"

@@ -306,3 +306,134 @@ class TestErrorSurfaces:
         self._assert_clean_error(
             capsys, main(["eco", "--base", str(base), "--delta", delta])
         )
+
+
+class TestOutputHygiene:
+    """The OutputWriter contract: reports on stdout, notes/warnings on stderr,
+    --quiet silence, JSON mode emitting nothing but the document."""
+
+    @pytest.fixture()
+    def instance(self, tmp_path):
+        path = tmp_path / "r1.inst"
+        assert main(["generate", "r1", str(path), "--groups", "4"]) == 0
+        return str(path)
+
+    def test_quiet_route_prints_nothing(self, instance, capsys):
+        capsys.readouterr()
+        assert main(["--quiet", "route", instance, "--validate"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_quiet_still_prints_validation_failures(self, tmp_path, capsys):
+        # The blocked family's detours break a sub-picosecond bound for sure.
+        path = tmp_path / "blk.inst"
+        assert main(["generate", str(path), "--family", "blocked", "--sinks", "60"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["--quiet", "route", str(path), "--validate", "--bound-ps", "0.0001"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.out == ""
+        assert "VALIDATION" in captured.err
+
+    def test_json_mode_stdout_is_pure_json(self, instance, capsys):
+        capsys.readouterr()
+        assert main(["route", instance, "--json"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # the whole stream is one JSON document
+
+    def test_quiet_json_still_emits_the_document(self, instance, capsys):
+        capsys.readouterr()
+        assert main(["--quiet", "route", instance, "--json"]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)
+        assert data["error"] is None
+
+
+class TestTraceCli:
+    """--trace-out NDJSON export and `repro trace summarize`."""
+
+    @pytest.fixture()
+    def instance(self, tmp_path):
+        path = tmp_path / "r1.inst"
+        assert main(["generate", "r1", str(path), "--groups", "4"]) == 0
+        return str(path)
+
+    def test_route_trace_out_writes_ndjson(self, instance, tmp_path, capsys):
+        from repro.obs.summarize import load_ndjson
+
+        trace_path = tmp_path / "trace.ndjson"
+        capsys.readouterr()
+        assert main(["route", instance, "--trace-out", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "trace event(s)" in captured.err  # progress note, not report
+        events = load_ndjson(str(trace_path))
+        names = {event["name"] for event in events}
+        assert {"run", "run.route", "dme.pass", "dme.merge"} <= names
+
+    def test_trace_out_with_json_keeps_stdout_pure(self, instance, tmp_path, capsys):
+        trace_path = tmp_path / "trace.ndjson"
+        capsys.readouterr()
+        assert main(
+            ["route", instance, "--json", "--trace-out", str(trace_path)]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["error"] is None
+        assert trace_path.exists()
+
+    def test_trace_summarize_renders_table(self, instance, tmp_path, capsys):
+        trace_path = tmp_path / "trace.ndjson"
+        main(["route", instance, "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "cum (s)" in out
+        assert "run.route" in out
+
+    def test_trace_summarize_json(self, instance, tmp_path, capsys):
+        trace_path = tmp_path / "trace.ndjson"
+        main(["route", instance, "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["name"] == "run" for row in rows)
+        for row in rows:
+            assert row["cumulative_seconds"] >= row["self_seconds"] >= 0.0
+
+    def test_trace_summarize_missing_file_is_clean_error(self, tmp_path, capsys):
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(tmp_path / "nope.ndjson")]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_trace_summarize_malformed_file_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text("{not json\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "line 1" in err
+
+    def test_eco_trace_out(self, instance, tmp_path, capsys):
+        from repro.obs.summarize import load_ndjson
+
+        base = {
+            "instance": {"kind": "file", "path": instance},
+            "router": {"name": "ast-dme", "options": {"skew_bound_ps": 10.0}},
+        }
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base), encoding="utf-8")
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(
+            json.dumps({"move": [{"sink_id": 1, "location": [5000.0, 5000.0]}]}),
+            encoding="utf-8",
+        )
+        trace_path = tmp_path / "eco.ndjson"
+        capsys.readouterr()
+        assert main(
+            ["eco", "--base", str(base_path), "--delta", str(delta_path),
+             "--trace-out", str(trace_path)]
+        ) == 0
+        names = {event["name"] for event in load_ndjson(str(trace_path))}
+        assert {"eco", "eco.cone", "eco.stitch", "eco.remerge"} <= names

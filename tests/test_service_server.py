@@ -281,3 +281,81 @@ class TestLifecycle:
         with ServerThread(ServiceConfig(port=0)) as other:
             assert other.port != server.port
             assert ServiceClient(port=other.port).healthz()["status"] == "ok"
+
+
+class TestObservability:
+    """``GET /metrics`` (Prometheus exposition) and ``X-Repro-Trace``."""
+
+    def test_metrics_exposition_parses_and_carries_requests(self, client):
+        from repro.obs.metrics import parse_exposition
+
+        client.route(_spec(seed=101))
+        samples = parse_exposition(client.metrics())
+        assert samples["repro_http_requests_total"][""] >= 1.0
+        assert samples["repro_endpoint_requests_total"]['endpoint="route"'] >= 1.0
+        buckets = samples["repro_request_seconds_bucket"]
+        route_buckets = {k: v for k, v in buckets.items() if 'endpoint="route"' in k}
+        assert route_buckets
+        # The +Inf bucket equals the count series.
+        inf_key = 'endpoint="route",le="+Inf"'
+        assert buckets[inf_key] == samples["repro_request_seconds_count"][
+            'endpoint="route"'
+        ]
+        assert samples["repro_uptime_seconds"][""] > 0.0
+        assert samples["repro_peak_rss_mb"][""] > 0.0
+
+    def test_metrics_cache_outcomes_labelled(self, client):
+        from repro.obs.metrics import parse_exposition
+
+        spec = _spec(seed=102)
+        client.route(spec)
+        client.route(spec)
+        samples = parse_exposition(client.metrics())
+        cache = samples["repro_endpoint_cache_total"]
+        assert cache['endpoint="route",outcome="miss"'] >= 1.0
+        assert cache['endpoint="route",outcome="hit"'] >= 1.0
+
+    def test_stats_carry_per_endpoint_latency(self, client):
+        spec = _spec(seed=103)
+        client.route(spec)
+        endpoints = client.stats()["server"]["endpoints"]
+        assert set(endpoints) == {"route", "eco", "batch"}
+        route = endpoints["route"]
+        assert route["count"] >= 1
+        assert route["p50_ms"] <= route["p99_ms"]
+        assert route["mean_ms"] > 0.0
+
+    def test_trace_header_returns_trace_on_miss_only(self, client):
+        spec = _spec(seed=104)
+        cold = client.route(spec, trace=True)
+        assert cold.cached is False
+        names = {event["name"] for event in cold.result.trace}
+        assert {"run", "run.route", "dme.pass"} <= names
+        # Hits serve the cached (trace-stripped) result.
+        hot = client.route(spec, trace=True)
+        assert hot.cached is True
+        assert hot.result.trace == []
+
+    def test_untraced_request_carries_no_trace(self, client):
+        cold = client.route(_spec(seed=105))
+        assert cold.cached is False
+        assert cold.result.trace == []
+
+    def test_traced_result_matches_untraced_shape(self, client):
+        """The cached entry of a traced miss equals a plain run's result."""
+        spec = _spec(seed=106)
+        traced = client.route(spec, trace=True)
+        cached = client.route(spec)
+        a, b = traced.result.to_dict(), cached.result.to_dict()
+        a.pop("trace", None)
+        assert a == b
+
+    def test_eco_trace_header(self, client):
+        spec = TestEcoEndpoint._eco_spec(seed=107)
+        cold = client.eco(spec, trace=True)
+        assert cold.cached is False
+        names = {event["name"] for event in cold.result.trace}
+        assert {"eco", "eco.cone", "eco.remerge"} <= names
+        hot = client.eco(spec, trace=True)
+        assert hot.cached is True
+        assert hot.result.trace == []
